@@ -1,0 +1,602 @@
+// Benchmarks that regenerate every evaluated artifact of Huang & Wolfson
+// (ICDE 1994). There is one benchmark per figure/claim (see DESIGN.md's
+// per-experiment index); each reports the measured quantity of interest as
+// a custom metric next to the usual ns/op, so `go test -bench=. -benchmem`
+// doubles as the experiment run.
+package objalloc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/adversary"
+	"objalloc/internal/baseline"
+	"objalloc/internal/cache"
+	"objalloc/internal/competitive"
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/feed"
+	"objalloc/internal/ha"
+	"objalloc/internal/hetero"
+	"objalloc/internal/latency"
+	"objalloc/internal/model"
+	"objalloc/internal/opt"
+	"objalloc/internal/sim"
+	"objalloc/internal/workload"
+)
+
+func benchBattery() competitive.BatteryConfig {
+	cfg := competitive.DefaultBattery()
+	cfg.RandomSchedules, cfg.RandomLength, cfg.NemesisRounds = 2, 24, 30
+	return cfg
+}
+
+// E1 / Figure 1: sweep the SC (cd, cc) plane and classify regions.
+func BenchmarkFigure1(b *testing.B) {
+	grid := []float64{0.25, 0.75, 1.25, 1.75}
+	var agree, decided int
+	for i := 0; i < b.N; i++ {
+		points, err := competitive.Sweep(grid, grid, false, benchBattery())
+		if err != nil {
+			b.Fatal(err)
+		}
+		agree, decided = 0, 0
+		for _, p := range points {
+			if p.Analytic == competitive.RegionSASuperior || p.Analytic == competitive.RegionDASuperior {
+				decided++
+				if p.Empirical == p.Analytic {
+					agree++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(agree)/float64(decided), "agreement")
+}
+
+// E2 / Figure 2: the MC plane; DA must win every admissible point.
+func BenchmarkFigure2(b *testing.B) {
+	grid := []float64{0.25, 0.75, 1.25, 1.75}
+	var daWins, admissible int
+	for i := 0; i < b.N; i++ {
+		points, err := competitive.Sweep(grid, grid, true, benchBattery())
+		if err != nil {
+			b.Fatal(err)
+		}
+		daWins, admissible = 0, 0
+		for _, p := range points {
+			if p.Analytic == competitive.RegionCannotBeTrue {
+				continue
+			}
+			admissible++
+			if p.Empirical == competitive.RegionDASuperior {
+				daWins++
+			}
+		}
+	}
+	b.ReportMetric(float64(daWins)/float64(admissible), "DA-win-frac")
+}
+
+// benchWorst measures an algorithm's worst battery ratio at one cost point
+// and reports measured ratio and bound.
+func benchWorst(b *testing.B, m cost.Model, f dom.Factory, bound float64) {
+	b.Helper()
+	cfg := benchBattery()
+	scheds := cfg.Build()
+	var worst competitive.Worst
+	var err error
+	for i := 0; i < b.N; i++ {
+		worst, err = competitive.WorstRatio(m, f, scheds, cfg.Initial(), cfg.T)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if worst.Ratio > bound+1e-9 {
+			b.Fatalf("bound violated: %.4f > %.4f", worst.Ratio, bound)
+		}
+	}
+	b.ReportMetric(worst.Ratio, "worst-ratio")
+	b.ReportMetric(bound, "paper-bound")
+}
+
+// E3 / Theorem 1: SA <= (1+cc+cd) x OPT in SC.
+func BenchmarkTheorem1SA(b *testing.B) {
+	m := cost.SC(0.3, 1.2)
+	benchWorst(b, m, dom.StaticFactory, competitive.SABound(m))
+}
+
+// E5 / Theorem 2: DA <= (2+2cc) x OPT in SC.
+func BenchmarkTheorem2DA(b *testing.B) {
+	m := cost.SC(0.3, 0.8)
+	benchWorst(b, m, dom.DynamicFactory, 2+2*m.CC)
+}
+
+// E6 / Theorem 3: DA <= (2+cc) x OPT when cd > 1.
+func BenchmarkTheorem3DA(b *testing.B) {
+	m := cost.SC(0.3, 1.5)
+	benchWorst(b, m, dom.DynamicFactory, competitive.DABound(m))
+}
+
+// E9 / Theorem 4: DA <= (2+3cc/cd) x OPT in MC.
+func BenchmarkTheorem4DAMobile(b *testing.B) {
+	m := cost.MC(0.3, 1.0)
+	benchWorst(b, m, dom.DynamicFactory, competitive.DABound(m))
+}
+
+// E4 / Proposition 1: the nemesis ratio converges to SA's bound.
+func BenchmarkProposition1(b *testing.B) {
+	m := cost.SC(0.4, 1.1)
+	initial := model.NewSet(0, 1)
+	sched := adversary.SAPunisher(5, 200)
+	var meas competitive.Measurement
+	var err error
+	for i := 0; i < b.N; i++ {
+		meas, err = competitive.Ratio(m, dom.StaticFactory, sched, initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(meas.Ratio, "nemesis-ratio")
+	b.ReportMetric(competitive.SABound(m), "tight-bound")
+}
+
+// E7 / Proposition 2: DA's nemesis ratio exceeds 1.5 at small costs.
+func BenchmarkProposition2(b *testing.B) {
+	m := cost.SC(0.01, 0.02)
+	initial := model.NewSet(0, 1)
+	sched, err := adversary.DAPunisher([]model.ProcessorID{2, 3, 4, 5}, 0, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var meas competitive.Measurement
+	for i := 0; i < b.N; i++ {
+		meas, err = competitive.Ratio(m, dom.DynamicFactory, sched, initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if meas.Ratio <= competitive.DALowerBound {
+			b.Fatalf("nemesis ratio %.4f under 1.5", meas.Ratio)
+		}
+	}
+	b.ReportMetric(meas.Ratio, "nemesis-ratio")
+}
+
+// E8 / Proposition 3: SA's MC ratio grows linearly with the run length.
+func BenchmarkProposition3(b *testing.B) {
+	m := cost.MC(0.3, 1.0)
+	initial := model.NewSet(0, 1)
+	var r64, r128 float64
+	for i := 0; i < b.N; i++ {
+		m64, err := competitive.Ratio(m, dom.StaticFactory, adversary.SAPunisher(5, 64), initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m128, err := competitive.Ratio(m, dom.StaticFactory, adversary.SAPunisher(5, 128), initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r64, r128 = m64.Ratio, m128.Ratio
+	}
+	b.ReportMetric(r128/r64, "growth-x2") // ~2.0: linear divergence
+}
+
+// E10: the §1.3 worked example.
+func BenchmarkWorkedExample(b *testing.B) {
+	m := cost.SC(0.25, 1.0)
+	sched := model.MustParseSchedule("r1 r1 r2 w2 r2 r2 r2")
+	initial := model.NewSet(1)
+	var optCost float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		optCost, err = opt.SolveCost(m, sched, initial, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(optCost, "opt-cost")
+}
+
+// E11: worst-case ratios are (nearly) independent of t.
+func BenchmarkTSensitivity(b *testing.B) {
+	m := cost.SC(0.3, 1.2)
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		var lo, hi float64
+		for _, tAvail := range []int{2, 3, 4} {
+			cfg := benchBattery()
+			cfg.T = tAvail
+			cfg.N = tAvail + 3
+			w, err := competitive.WorstRatio(m, dom.DynamicFactory, cfg.Build(), cfg.Initial(), tAvail)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lo == 0 || w.Ratio < lo {
+				lo = w.Ratio
+			}
+			if w.Ratio > hi {
+				hi = w.Ratio
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "ratio-spread")
+}
+
+// E12: average-case comparison on random workloads.
+func BenchmarkAverageCase(b *testing.B) {
+	m := cost.SC(0.2, 2.0) // deep in DA's region
+	initial := model.NewSet(0, 1)
+	rng := rand.New(rand.NewSource(123))
+	var scheds []model.Schedule
+	for i := 0; i < 10; i++ {
+		scheds = append(scheds, workload.Uniform(rng, 5, 40, 0.15))
+	}
+	var saMean, daMean float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		saMean, err = competitive.MeanRatio(m, dom.StaticFactory, scheds, initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		daMean, err = competitive.MeanRatio(m, dom.DynamicFactory, scheds, initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(saMean/daMean, "SA/DA-mean") // > 1: DA also wins on average
+}
+
+// E13: a full crash-failover-recover lifetime on the HA cluster.
+func BenchmarkFailover(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	sched := workload.Uniform(rng, 6, 150, 0.3)
+	for i := 0; i < b.N; i++ {
+		h, err := ha.New(ha.Config{N: 6, T: 2, Initial: model.NewSet(0, 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, q := range sched {
+			switch j {
+			case 50:
+				if err := h.Crash(0); err != nil {
+					b.Fatal(err)
+				}
+			case 100:
+				if err := h.Restart(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if h.Crashed().Contains(q.Processor) {
+				continue
+			}
+			if q.IsRead() {
+				_, err = h.Read(q.Processor)
+			} else {
+				_, err = h.Write(q.Processor, []byte("x"))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		h.Close()
+	}
+}
+
+// E14: convergent vs competitive on a regular pattern.
+func BenchmarkConvergentVsCompetitive(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	sched, err := workload.Regular(rng, []workload.Phase{
+		{Length: 400, ReadRate: map[model.ProcessorID]float64{4: 10, 5: 4}, WriteRate: map[model.ProcessorID]float64{0: 1}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cost.SC(0.2, 1.0)
+	initial := model.NewSet(0, 1)
+	var saCost, convCost float64
+	for i := 0; i < b.N; i++ {
+		for name, f := range map[string]dom.Factory{"sa": dom.StaticFactory, "conv": baseline.ConvergentFactory(32)} {
+			las, err := dom.RunFactory(f, initial, 2, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := cost.ScheduleCost(m, las, initial)
+			if name == "sa" {
+				saCost = c
+			} else {
+				convCost = c
+			}
+		}
+	}
+	b.ReportMetric(saCost/convCost, "SA/Conv-cost")
+}
+
+// E15: the executed protocol reproduces the analytic accounting exactly.
+func BenchmarkSimulatorFidelity(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	sched := workload.Uniform(rng, 6, 100, 0.3)
+	initial := model.NewSet(0, 1)
+	las, err := dom.RunFactory(dom.DynamicFactory, initial, 2, sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, _ := cost.ScheduleCounts(las, initial)
+	for i := 0; i < b.N; i++ {
+		c, err := sim.New(sim.Config{N: 6, T: 2, Protocol: sim.DA, Initial: initial})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(sched); err != nil {
+			b.Fatal(err)
+		}
+		if got := c.Counts(); got != want {
+			b.Fatalf("executed %v != analytic %v", got, want)
+		}
+		c.Close()
+	}
+}
+
+// ---- microbenchmarks of the moving parts ----
+
+// The offline-optimum DP on a 200-request schedule over 10 processors.
+func BenchmarkOptimalDP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sched := workload.Uniform(rng, 10, 200, 0.3)
+	initial := model.NewSet(0, 1)
+	m := cost.SC(0.3, 1.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.SolveCost(m, sched, initial, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One DA online step.
+func BenchmarkDAStep(b *testing.B) {
+	alg, err := dom.NewDynamic(model.NewSet(0, 1), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := []model.Request{model.R(4), model.W(0), model.R(5), model.W(3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Step(reqs[i%len(reqs)])
+	}
+}
+
+// A write through the executed DA protocol (propagation + invalidation).
+func BenchmarkClusterWrite(b *testing.B) {
+	c, err := sim.New(sim.Config{N: 8, T: 2, Protocol: sim.DA, Initial: model.NewSet(0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := []byte("object-version-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(model.ProcessorID(i%8), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E16: response time on a contended bus; reports the saturation gap.
+func BenchmarkResponseTimeBusContention(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	sched := workload.Hotspot(rng, 6, 200, 0.08, model.NewSet(4, 5), 0.8)
+	initial := model.NewSet(0, 1)
+	profile := latency.Profile{ControlTime: 0.05, DataTime: 1, PropDelay: 0.05, DiskTime: 0.3, SharedBus: true}
+	var saMean, daMean float64
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			f  dom.Factory
+			to *float64
+		}{{dom.StaticFactory, &saMean}, {dom.DynamicFactory, &daMean}} {
+			las, err := dom.RunFactory(tc.f, initial, 2, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := latency.Simulate(profile, las, initial, latency.UniformArrivals(len(las), 0.9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			*tc.to = res.Summary.Mean
+		}
+	}
+	b.ReportMetric(saMean/daMean, "SA/DA-resp")
+}
+
+// E17: DA's advantage under a clustered (WAN) topology.
+func BenchmarkHeteroClustered(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	initial := model.NewSet(0, 1)
+	sched := workload.Hotspot(rng, 6, 300, 0.1, model.NewSet(3, 4, 5), 0.9)
+	m := hetero.Clustered(6, 3, 0.05, 0.25, 0.8, 4.0, 1)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		saCost, _, err := m.EvaluateFactory(dom.StaticFactory, initial, 2, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		daCost, _, err := m.EvaluateFactory(dom.DynamicFactory, initial, 2, sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = saCost / daCost
+	}
+	b.ReportMetric(ratio, "SA/DA-cost")
+}
+
+// E18: beam-search offline approximation on a 30-processor instance.
+func BenchmarkBeamSearchAtScale(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	sched := workload.Uniform(rng, 30, 300, 0.25)
+	initial := model.NewSet(0, 1)
+	m := cost.SC(0.3, 1.2)
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := opt.Beam(m, sched, initial, 2, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.Cost / opt.LowerBound(m, sched, 2)
+	}
+	b.ReportMetric(gap, "beam/LB")
+}
+
+// Ablation: the DA-k threshold family between DA (k=1) and SA-like
+// behaviour (large k), on a read-heavy workload where eager replication
+// wins.
+func BenchmarkKThresholdAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	sched := workload.Hotspot(rng, 6, 300, 0.1, model.NewSet(4, 5), 0.8)
+	initial := model.NewSet(0, 1)
+	m := cost.SC(0.2, 1.5)
+	var k1, k4 float64
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			k  int
+			to *float64
+		}{{1, &k1}, {4, &k4}} {
+			las, err := dom.RunFactory(baseline.KThresholdFactory(tc.k), initial, 2, sched)
+			if err != nil {
+				b.Fatal(err)
+			}
+			*tc.to = cost.ScheduleCost(m, las, initial)
+		}
+	}
+	b.ReportMetric(k4/k1, "k4/k1-cost")
+}
+
+// Ablation: reader-assignment policy — rotating the serving replica across
+// Q spreads load but does not change the §3 cost (homogeneous prices).
+func BenchmarkPickerAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	sched := workload.Uniform(rng, 6, 300, 0.2)
+	initial := model.NewSet(0, 1, 2)
+	m := cost.SC(0.3, 1.2)
+	var minCost, rotCost float64
+	for i := 0; i < b.N; i++ {
+		algMin, err := dom.NewStatic(initial, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minCost = cost.ScheduleCost(m, dom.Run(algMin, sched), initial)
+		algRot, err := dom.NewStatic(initial, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		algRot.(*dom.Static).WithPicker(dom.RotatingPicker())
+		rotCost = cost.ScheduleCost(m, dom.Run(algRot, sched), initial)
+	}
+	b.ReportMetric(rotCost/minCost, "rot/min-cost")
+}
+
+// E20: the cost of bounded storage relative to the paper's abundant-storage
+// assumption.
+func BenchmarkBoundedStorage(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	type op struct {
+		obj   string
+		p     model.ProcessorID
+		write bool
+	}
+	var ops []op
+	for i := 0; i < 2000; i++ {
+		ops = append(ops, op{
+			obj:   "o" + string(rune('a'+rng.Intn(16))),
+			p:     model.ProcessorID(rng.Intn(6)),
+			write: rng.Float64() < 0.1,
+		})
+	}
+	run := func(capacity int) float64 {
+		m, err := cache.New(cache.Config{N: 6, Capacity: capacity, Model: cost.SC(0.3, 1.2)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range ops {
+			if o.write {
+				m.Write(o.obj, o.p)
+			} else {
+				m.Read(o.obj, o.p)
+			}
+		}
+		return m.Cost()
+	}
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		overhead = run(2)/run(0) - 1
+	}
+	b.ReportMetric(100*overhead, "overhead-%")
+}
+
+// §6.2: temporary vs permanent standing orders on the executed feed.
+func BenchmarkFeedPolicies(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := cost.SC(0.3, 2.0)
+	var perm, temp float64
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			policy feed.Policy
+			to     *float64
+		}{{feed.PermanentOrders, &perm}, {feed.TemporaryOrders, &temp}} {
+			f, err := feed.Open(feed.Config{Stations: 6, T: 2, Policy: tc.policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for obj := 0; obj < 40; obj++ {
+				if _, err := f.Publish(model.ProcessorID(rng.Intn(6)), []byte("img")); err != nil {
+					b.Fatal(err)
+				}
+				reader := model.ProcessorID(rng.Intn(6))
+				for r := 0; r < 3; r++ {
+					if _, _, err := f.Latest(reader); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			*tc.to = f.Cost(m)
+			f.Close()
+		}
+	}
+	b.ReportMetric(perm/temp, "perm/temp-cost")
+}
+
+// E21: empirical lower bound for DA inside the paper's open gap.
+func BenchmarkGapProbe(b *testing.B) {
+	m := cost.SC(0.1, 0.4)
+	initial := model.NewSet(0, 1)
+	var alpha float64
+	for i := 0; i < b.N; i++ {
+		fit, err := competitive.FitAsymptotic(m, dom.DynamicFactory,
+			func(k int) model.Schedule {
+				s, err := adversary.DAPunisher([]model.ProcessorID{2, 3, 4, 5}, 0, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return s
+			},
+			[]int{10, 20, 40}, initial, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alpha = fit.Alpha
+		if alpha <= competitive.DALowerBound {
+			b.Fatalf("gap probe %.4f below the paper's 1.5", alpha)
+		}
+	}
+	b.ReportMetric(alpha, "DA-lower-bound")
+}
+
+// E22: bisected SA/DA crossover on the cd axis at cc = 0.2.
+func BenchmarkCrossover(b *testing.B) {
+	cfg := benchBattery()
+	var cd float64
+	for i := 0; i < b.N; i++ {
+		res, err := competitive.Crossover(0.2, 2.0, 8, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cd = res.CD
+	}
+	b.ReportMetric(cd, "crossover-cd")
+}

@@ -1,0 +1,124 @@
+// Command adversary searches for worst-case schedules against an online
+// DOM algorithm by randomized hill-climbing, and evaluates the hand-built
+// nemesis families behind the paper's lower-bound propositions. It reports
+// the worst cost ratio found against the exact offline optimum, next to the
+// paper's analytic bound.
+//
+// Usage:
+//
+//	adversary [-alg da] [-cc 0.3] [-cd 1.2] [-mobile] [-n 5] [-t 2]
+//	          [-len 16] [-restarts 8] [-steps 300] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"objalloc/internal/adversary"
+	"objalloc/internal/baseline"
+	"objalloc/internal/competitive"
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adversary: ")
+	var (
+		algName  = flag.String("alg", "da", "algorithm under attack: sa, da, convergent, k2")
+		cc       = flag.Float64("cc", 0.3, "control message cost")
+		cd       = flag.Float64("cd", 1.2, "data message cost")
+		mobile   = flag.Bool("mobile", false, "use the mobile-computing model (cio = 0)")
+		n        = flag.Int("n", 5, "processors")
+		t        = flag.Int("t", 2, "availability threshold")
+		length   = flag.Int("len", 16, "schedule length for the search")
+		restarts = flag.Int("restarts", 8, "hill-climbing restarts")
+		steps    = flag.Int("steps", 300, "mutations per restart")
+		seed     = flag.Int64("seed", 1, "search seed")
+		anneal   = flag.Bool("anneal", false, "use simulated annealing instead of plain hill-climbing")
+		shrink   = flag.Bool("shrink", true, "minimize the best witness found")
+	)
+	flag.Parse()
+
+	var m cost.Model
+	if *mobile {
+		m = cost.MC(*cc, *cd)
+	} else {
+		m = cost.SC(*cc, *cd)
+	}
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var factory dom.Factory
+	var bound float64
+	switch *algName {
+	case "sa":
+		factory, bound = dom.StaticFactory, competitive.SABound(m)
+	case "da":
+		factory, bound = dom.DynamicFactory, competitive.DABound(m)
+	case "convergent":
+		factory, bound = baseline.ConvergentFactory(16), 0
+	case "k2":
+		factory, bound = baseline.KThresholdFactory(2), 0
+	default:
+		log.Fatalf("unknown algorithm %q (sa, da, convergent, k2)", *algName)
+	}
+
+	fmt.Printf("model %v, algorithm %s\n\n", m, *algName)
+
+	// Hand-built nemesis families first.
+	initial := model.FullSet(*t)
+	outsider := model.ProcessorID(*t)
+	nemeses := map[string]model.Schedule{
+		"read-run (Prop 1/3)": adversary.SAPunisher(outsider, 8**length),
+		"ping-pong":           adversary.PingPong(0, outsider, 2**length),
+	}
+	var readers []model.ProcessorID
+	for p := *t; p < *n; p++ {
+		readers = append(readers, model.ProcessorID(p))
+	}
+	if len(readers) > 0 {
+		if s, err := adversary.DAPunisher(readers, 0, 2**length); err == nil {
+			nemeses["outsider rounds (Prop 2)"] = s
+		}
+	}
+	for name, sched := range nemeses {
+		meas, err := competitive.Ratio(m, factory, sched, initial, *t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s ratio %8.4f  (alg %.3f / opt %.3f)\n", name, meas.Ratio, meas.AlgCost, meas.OptCost)
+	}
+
+	// Randomized hill-climbing search.
+	res, err := competitive.Search(competitive.SearchConfig{
+		Model: m, Factory: factory,
+		N: *n, T: *t, Length: *length,
+		Restarts: *restarts, Steps: *steps, Seed: *seed,
+		Anneal: *anneal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	method := "hill-climbing"
+	if *anneal {
+		method = "simulated annealing"
+	}
+	fmt.Printf("\n%s (%d evaluations):\n", method, res.Evaluations)
+	fmt.Printf("worst ratio %8.4f  (alg %.3f / opt %.3f)\n", res.Ratio, res.AlgCost, res.OptCost)
+	fmt.Printf("witness: %v\n", res.Schedule)
+	if *shrink && res.Ratio > 1 {
+		initial := model.FullSet(*t)
+		small, meas, err := competitive.Shrink(m, factory, res.Schedule, initial, *t, res.Ratio)
+		if err == nil && len(small) < len(res.Schedule) {
+			fmt.Printf("minimized witness (%d -> %d requests, ratio %.4f): %v\n",
+				len(res.Schedule), len(small), meas.Ratio, small)
+		}
+	}
+	if bound > 0 {
+		fmt.Printf("paper's bound: %.4f  (measured/bound = %.1f%%)\n", bound, 100*res.Ratio/bound)
+	}
+}

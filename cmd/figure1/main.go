@@ -1,0 +1,74 @@
+// Command figure1 regenerates Figure 1 of Huang & Wolfson (ICDE 1994): the
+// partition of the (cd, cc) plane, under the stationary-computing cost
+// model, into the regions where static allocation (SA) or dynamic
+// allocation (DA) has the better worst-case cost.
+//
+// For every grid point the tool measures the worst cost ratio of SA and DA
+// against the exact offline optimum over a battery of random and
+// adversarial schedules, prints the analytic region map (from the paper's
+// bounds), the empirically measured map, and the measured ratios next to
+// the analytic bounds.
+//
+// Usage:
+//
+//	figure1 [-max 2] [-steps 8] [-n 5] [-t 2] [-seed 1994]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"objalloc/internal/competitive"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure1: ")
+	var (
+		maxCost = flag.Float64("max", 2.0, "largest cc and cd value on the grid")
+		steps   = flag.Int("steps", 10, "grid points per axis")
+		n       = flag.Int("n", 5, "processors in the battery")
+		t       = flag.Int("t", 2, "availability threshold")
+		seed    = flag.Int64("seed", 1994, "battery seed")
+		rounds  = flag.Int("rounds", 60, "nemesis schedule rounds")
+	)
+	flag.Parse()
+	if *steps < 2 || *maxCost <= 0 {
+		log.Fatal("need -steps >= 2 and -max > 0")
+	}
+
+	battery := competitive.DefaultBattery()
+	battery.N, battery.T, battery.Seed, battery.NemesisRounds = *n, *t, *seed, *rounds
+
+	grid := make([]float64, *steps)
+	for i := range grid {
+		grid[i] = *maxCost * float64(i+1) / float64(*steps)
+	}
+	points, err := competitive.Sweep(grid, grid, false, battery)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 1 — stationary-computing cost model (cio = 1)")
+	fmt.Println()
+	fmt.Println("Analytic regions (paper's theorems and propositions):")
+	fmt.Print(competitive.RenderGrid(points, false))
+	fmt.Println()
+	fmt.Println("Empirical regions (measured worst-case ratio vs the exact offline optimum):")
+	fmt.Print(competitive.RenderGrid(points, true))
+	fmt.Println()
+	fmt.Println("Measured worst-case ratios:")
+	fmt.Print(competitive.RenderRatios(points))
+
+	// Sanity: empirical must agree with analytic wherever the bounds
+	// decide the winner.
+	for _, p := range points {
+		if (p.Analytic == competitive.RegionSASuperior || p.Analytic == competitive.RegionDASuperior) &&
+			p.Empirical != p.Analytic {
+			fmt.Fprintf(os.Stderr, "warning: (cc=%g, cd=%g) analytic %v but measured %v\n",
+				p.CC, p.CD, p.Analytic, p.Empirical)
+		}
+	}
+}

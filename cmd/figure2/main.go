@@ -1,0 +1,77 @@
+// Command figure2 regenerates Figure 2 of Huang & Wolfson (ICDE 1994): in
+// the mobile-computing cost model (I/O cost zero — only wireless messages
+// are billed) the dynamic allocation algorithm dominates static allocation
+// on the whole admissible (cd, cc) half-plane, because SA is not
+// competitive at all (Proposition 3) while DA stays within 2 + 3cc/cd of
+// the optimum (Theorem 4).
+//
+// Usage:
+//
+//	figure2 [-max 2] [-steps 8] [-n 5] [-t 2] [-seed 1994]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"objalloc/internal/adversary"
+	"objalloc/internal/competitive"
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure2: ")
+	var (
+		maxCost = flag.Float64("max", 2.0, "largest cc and cd value on the grid")
+		steps   = flag.Int("steps", 10, "grid points per axis")
+		n       = flag.Int("n", 5, "processors in the battery")
+		t       = flag.Int("t", 2, "availability threshold")
+		seed    = flag.Int64("seed", 1994, "battery seed")
+		rounds  = flag.Int("rounds", 60, "nemesis schedule rounds")
+	)
+	flag.Parse()
+
+	battery := competitive.DefaultBattery()
+	battery.N, battery.T, battery.Seed, battery.NemesisRounds = *n, *t, *seed, *rounds
+
+	grid := make([]float64, *steps)
+	for i := range grid {
+		grid[i] = *maxCost * float64(i+1) / float64(*steps)
+	}
+	points, err := competitive.Sweep(grid, grid, true, battery)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 2 — mobile-computing cost model (cio = 0)")
+	fmt.Println()
+	fmt.Println("Analytic regions:")
+	fmt.Print(competitive.RenderGrid(points, false))
+	fmt.Println()
+	fmt.Println("Empirical regions:")
+	fmt.Print(competitive.RenderGrid(points, true))
+	fmt.Println()
+	fmt.Println("Measured worst-case ratios:")
+	fmt.Print(competitive.RenderRatios(points))
+
+	// Proposition 3's divergence, made visible: SA's ratio on the read-run
+	// nemesis grows linearly with the run length.
+	fmt.Println()
+	fmt.Println("Proposition 3 — SA's ratio diverges with the nemesis run length:")
+	m := cost.MC(0.3, 1.0)
+	initial := model.FullSet(*t)
+	tbl := stats.NewTable("run length k", "SA cost / OPT cost")
+	for _, k := range []int{4, 8, 16, 32, 64, 128} {
+		meas, err := competitive.Ratio(m, dom.StaticFactory, adversary.SAPunisher(model.ProcessorID(*t), k), initial, *t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(k, meas.Ratio)
+	}
+	fmt.Print(tbl.String())
+}

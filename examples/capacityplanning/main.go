@@ -1,0 +1,106 @@
+// Capacity planning: choosing an allocation algorithm for a deployment.
+//
+// A DBA has a trace of last week's accesses to a replicated object and
+// three candidate deployments — a campus LAN, a two-site WAN, and a mobile
+// network. This example walks the paper-guided decision procedure:
+//
+//  1. locate each deployment on the (cd, cc) plane and apply figures 1/2
+//     (the analytic advisor);
+//  2. where the bounds leave the answer open, measure SA and DA on the
+//     trace against the offline optimum (the empirical advisor);
+//  3. sanity-check the winner's *response time* under the expected load
+//     with the shared-bus discrete-event simulator.
+//
+// Run with:
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"objalloc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		n = 8
+		t = 2
+	)
+	initial := objalloc.NewSet(0, 1)
+
+	// Last week's trace: bursts of reads from the analytics sites 5..7,
+	// occasional writes from the ingest sites 0..1.
+	rng := rand.New(rand.NewSource(77))
+	trace := objalloc.UniformWorkload(rng, 2, 60, 1.0) // writes from 0..1
+	reads := objalloc.ZipfWorkload(rng, 3, 340, 0, 1.6)
+	for i := range reads {
+		reads[i] = objalloc.R(reads[i].Processor + 5) // shift to 5..7
+	}
+	trace = interleave(rng, trace, reads)
+
+	deployments := []struct {
+		name string
+		m    objalloc.CostModel
+	}{
+		{"campus LAN (cheap messages)", objalloc.SC(0.05, 0.15)},
+		{"two-site WAN (expensive data)", objalloc.SC(0.3, 1.8)},
+		{"mobile network (per-message billing)", objalloc.MC(0.2, 1.0)},
+	}
+
+	fmt.Printf("trace: %d requests (%d reads, %d writes)\n\n", len(trace), trace.Reads(), trace.Writes())
+	for _, d := range deployments {
+		fmt.Printf("%s — %v\n", d.name, d.m)
+		analytic := objalloc.Advise(d.m)
+		fmt.Printf("  figures 1/2 say: %v\n", analytic)
+
+		adv, err := objalloc.AdviseForWorkload(d.m, trace, initial, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range adv.Evaluations {
+			fmt.Printf("  measured %-3s cost %9.1f  (%.3fx the offline optimum)\n", ev.Name, ev.Cost, ev.Ratio)
+		}
+		fmt.Printf("  recommendation: %s\n\n", adv.Best)
+	}
+
+	// Response-time check for the WAN winner on a shared backbone.
+	fmt.Println("response-time check (shared bus, expected load 0.6 req/unit):")
+	profile := objalloc.LatencyProfile{ControlTime: 0.05, DataTime: 1, PropDelay: 0.1, DiskTime: 0.4, SharedBus: true}
+	for _, cand := range []struct {
+		name    string
+		factory objalloc.Factory
+	}{{"SA", objalloc.StaticFactory}, {"DA", objalloc.DynamicFactory}} {
+		alg, err := cand.factory(initial, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		las := objalloc.Run(alg, trace)
+		res, err := objalloc.SimulateLatency(profile, las, initial, objalloc.UniformArrivals(len(las), 0.6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-3s mean %6.2f  p99 %6.2f  bus utilization %4.0f%%\n",
+			cand.name, res.Summary.Mean, res.Summary.P99, 100*res.BusUtilization())
+	}
+}
+
+// interleave randomly merges two schedules, preserving each one's order.
+func interleave(rng *rand.Rand, a, b objalloc.Schedule) objalloc.Schedule {
+	out := make(objalloc.Schedule, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if i < len(a) && (j >= len(b) || rng.Intn(len(a)+len(b)-i-j) < len(a)-i) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

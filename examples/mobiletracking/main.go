@@ -1,0 +1,102 @@
+// Mobile user location tracking — the paper's motivating mobile-computing
+// deployment (§1.1, §2): the replicated object is a mobile user's location;
+// it is written whenever the user moves and read whenever a caller needs to
+// route to the user.
+//
+// Per §2, the natural configuration is t = 2 with DA's core F consisting of
+// the base station (processor 0): every location update is stored at the
+// moving user and propagated to the base station, which invalidates the
+// cached copies on all the other mobile processors; lookups cache the
+// location locally so repeated calls cost nothing until the next move.
+//
+// The example prices SA and DA under the mobile-computing cost model
+// (I/O free, wireless messages billed) across lookup/move ratios, showing
+// the regime where dynamic allocation's caching pays off — and that SA's
+// cost diverges as lookups concentrate, which is Proposition 3 in action.
+// It also demonstrates the §2 failure story: the base station crashes,
+// the system degrades to quorum consensus, and recovers.
+//
+// Run with:
+//
+//	go run ./examples/mobiletracking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"objalloc"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		n = 8 // base station (0), the tracked user (1), six callers (2..7)
+		t = 2
+	)
+	initial := objalloc.NewSet(0, 1) // F = {base station}, p = the user
+	m := objalloc.MC(0.2, 1.0)       // wireless: control 0.2, data 1.0, I/O free
+
+	fmt.Println("Mobile location tracking: base station = 0, user = 1, callers = 2..7")
+	fmt.Printf("cost model %v (per-message billing, I/O free)\n\n", m)
+
+	fmt.Println("wireless cost per scenario (100 moves each):")
+	fmt.Printf("%22s  %10s  %10s  %10s\n", "lookups per move", "SA cost", "DA cost", "DA saves")
+	for _, lookups := range []float64{0.5, 2, 4, 8, 16} {
+		rng := rand.New(rand.NewSource(42))
+		trace := objalloc.MobileTrace(rng, n, 100, lookups)
+
+		costs := map[string]float64{}
+		for name, factory := range map[string]objalloc.Factory{
+			"SA": objalloc.StaticFactory, "DA": objalloc.DynamicFactory,
+		} {
+			alg, err := factory(initial, t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			las := objalloc.Run(alg, trace)
+			costs[name] = objalloc.ScheduleCost(m, las, initial)
+		}
+		fmt.Printf("%22.1f  %10.1f  %10.1f  %9.1f%%\n",
+			lookups, costs["SA"], costs["DA"], 100*(1-costs["DA"]/costs["SA"]))
+	}
+
+	// Execute the protocol for real, with the base station failing
+	// mid-flight — the §2 failure handling.
+	fmt.Println("\nexecuting DA with base-station failure and recovery:")
+	h, err := objalloc.NewHACluster(objalloc.HAConfig{N: n, T: t, Initial: initial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	trace := objalloc.MobileTrace(rng, n, 60, 4)
+	for i, q := range trace {
+		switch i {
+		case len(trace) / 3:
+			if err := h.Crash(0); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  request %3d: base station down -> mode %v (lookups still served)\n", i, h.Mode())
+		case 2 * len(trace) / 3:
+			if err := h.Restart(0); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  request %3d: base station back, missed writes recovered -> mode %v\n", i, h.Mode())
+		}
+		var err error
+		if q.IsRead() {
+			_, err = h.Read(q.Processor)
+		} else {
+			_, err = h.Write(q.Processor, []byte(fmt.Sprintf("cell-%d", i)))
+		}
+		if err != nil {
+			log.Fatalf("request %d (%v): %v", i, q, err)
+		}
+	}
+	fmt.Printf("  served all %d requests; final mode %v; wireless bill %.1f\n",
+		len(trace), h.Mode(), h.Cost(m))
+}

@@ -1,0 +1,3 @@
+module objalloc
+
+go 1.22

@@ -1,0 +1,129 @@
+package advisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/baseline"
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/workload"
+)
+
+func TestAnalyticChoices(t *testing.T) {
+	cases := []struct {
+		m    cost.Model
+		want Choice
+	}{
+		{cost.SC(0.1, 0.2), ChooseSA},      // cc+cd < 0.5
+		{cost.SC(0.2, 1.5), ChooseDA},      // cd > 1
+		{cost.SC(0.3, 0.8), ChooseEither},  // the unknown band
+		{cost.SC(1.5, 1.0), ChooseInvalid}, // cc > cd
+		{cost.MC(0.2, 0.8), ChooseDA},      // mobile: DA everywhere
+		{cost.MC(0.9, 0.5), ChooseInvalid},
+		// cio != 1 normalizes: cc/cio=0.1, cd/cio=0.15 -> SA region.
+		{cost.Model{CC: 0.2, CD: 0.3, CIO: 2}, ChooseSA},
+	}
+	for _, c := range cases {
+		if got := Analytic(c.m); got != c.want {
+			t.Errorf("Analytic(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	if ChooseSA.String() != "SA" || ChooseDA.String() != "DA" {
+		t.Error("choice strings wrong")
+	}
+	if ChooseEither.String() == "" || ChooseInvalid.String() == "" || Choice(9).String() == "" {
+		t.Error("choice strings empty")
+	}
+}
+
+func TestRecommendReadHeavy(t *testing.T) {
+	// Read-heavy outsider workload, cd > 1: both the figures and the
+	// sample should point at DA.
+	rng := rand.New(rand.NewSource(1))
+	sample := workload.Hotspot(rng, 6, 200, 0.05, model.NewSet(4, 5), 0.8)
+	adv, err := Recommend(cost.SC(0.2, 1.5), sample, model.NewSet(0, 1), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Analytic != ChooseDA {
+		t.Errorf("analytic = %v", adv.Analytic)
+	}
+	if adv.Best != "DA" {
+		t.Errorf("best = %q (evaluations %+v)", adv.Best, adv.Evaluations)
+	}
+	if !adv.Exact || adv.OptimalCost <= 0 {
+		t.Errorf("expected exact optimum: %+v", adv)
+	}
+	for _, ev := range adv.Evaluations {
+		if ev.Ratio < 1-1e-9 {
+			t.Errorf("%s ratio %g below 1 against the exact optimum", ev.Name, ev.Ratio)
+		}
+	}
+	// Evaluations sorted cheapest first.
+	for i := 1; i < len(adv.Evaluations); i++ {
+		if adv.Evaluations[i].Cost < adv.Evaluations[i-1].Cost {
+			t.Error("evaluations not sorted")
+		}
+	}
+}
+
+func TestRecommendWriteHeavyCheapMessages(t *testing.T) {
+	// Write-heavy workload at a cheap-message point: SA should win the
+	// sample (replication churn buys nothing).
+	rng := rand.New(rand.NewSource(2))
+	sample := workload.Uniform(rng, 5, 200, 0.85)
+	adv, err := Recommend(cost.SC(0.05, 0.2), sample, model.NewSet(0, 1), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Analytic != ChooseSA {
+		t.Errorf("analytic = %v", adv.Analytic)
+	}
+	if adv.Best != "SA" {
+		t.Errorf("best = %q (evaluations %+v)", adv.Best, adv.Evaluations)
+	}
+}
+
+func TestRecommendWithCustomCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sample := workload.Hotspot(rng, 6, 300, 0.1, model.NewSet(4), 0.8)
+	cands := append(DefaultCandidates(), Candidate{Name: "Conv", Factory: baseline.ConvergentFactory(32)})
+	adv, err := Recommend(cost.SC(0.2, 1.0), sample, model.NewSet(0, 1), 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Evaluations) != 3 {
+		t.Fatalf("evaluations = %d", len(adv.Evaluations))
+	}
+}
+
+func TestRecommendLargeInstanceFallsBackToBeam(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sample := workload.Uniform(rng, 25, 150, 0.3) // beyond the exact solver
+	adv, err := Recommend(cost.SC(0.3, 1.2), sample, model.NewSet(0, 1), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Exact {
+		t.Error("claimed exact optimum on a 25-processor instance")
+	}
+	if adv.OptimalCost <= 0 {
+		t.Error("no offline yardstick")
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, err := Recommend(cost.SC(0.3, 1.2), nil, model.NewSet(0, 1), 2, nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Recommend(cost.SC(2, 1), model.MustParseSchedule("r1"), model.NewSet(0, 1), 2, nil); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := Recommend(cost.SC(0.3, 1.2), model.MustParseSchedule("r1"), model.NewSet(0), 2, nil); err == nil {
+		t.Error("initial below t accepted")
+	}
+}

@@ -1,0 +1,282 @@
+// Package baseline implements comparison algorithms from the paper's
+// related-work discussion (§5.1), used in the convergent-vs-competitive
+// experiment (E14) and the ablation benches:
+//
+//   - Convergent: an adaptive replication algorithm in the spirit of
+//     Wolfson & Jajodia (PODS '92 / WMRD-II '92): it observes read/write
+//     rates over a sliding window and converges toward the allocation
+//     scheme that is optimal for the current, stable access pattern. Under
+//     regular patterns it approaches the optimum; under chaotic
+//     (adversarial) patterns it can diverge unboundedly — exactly the
+//     trade-off §5.1 describes.
+//   - KThreshold: a CDDR-flavoured family between SA and DA — a reader
+//     replicates only after k consecutive reads of its own since the last
+//     write reached it. k = 1 behaves like DA's saving policy; large k
+//     approaches SA's never-replicate policy.
+//   - FullRepl: read-one-write-all-everywhere over a fixed universe — the
+//     extreme static point, useful as an upper anchor in the benches.
+//
+// All three satisfy the same online DOM contract as SA and DA (package
+// dom): they produce legal, t-available allocation schedules.
+package baseline
+
+import (
+	"fmt"
+
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+// Convergent is the adaptive, window-based algorithm. It keeps, per
+// processor, the number of reads it issued among the last Window requests,
+// and the total number of writes in the window. A processor outside the
+// core is kept in the allocation scheme while its windowed read count
+// exceeds the windowed write count — the classic expansion test for
+// read-one-write-all replication (replicating at p saves p's remote reads
+// but costs one extra propagation per write).
+type Convergent struct {
+	core   model.Set // t-1 fixed members, for availability
+	anchor model.ProcessorID
+	scheme model.Set
+	window int
+	t      int
+
+	history []model.Request
+	reads   map[model.ProcessorID]int
+	writes  int
+}
+
+// NewConvergent creates the adaptive algorithm; window is the number of
+// recent requests considered (must be positive).
+func NewConvergent(initial model.Set, t, window int) (*Convergent, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("baseline: t = %d, must be at least 1", t)
+	}
+	if initial.Size() < t {
+		return nil, fmt.Errorf("baseline: initial scheme %v smaller than t = %d", initial, t)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("baseline: window = %d, must be positive", window)
+	}
+	var core model.Set
+	for k := 0; k < t-1; k++ {
+		core = core.Add(initial.Member(k))
+	}
+	return &Convergent{
+		core:   core,
+		anchor: initial.Member(t - 1),
+		scheme: initial,
+		window: window,
+		t:      t,
+		reads:  make(map[model.ProcessorID]int),
+	}, nil
+}
+
+// ConvergentFactory returns a dom.Factory with the given window.
+func ConvergentFactory(window int) dom.Factory {
+	return func(initial model.Set, t int) (dom.Algorithm, error) {
+		return NewConvergent(initial, t, window)
+	}
+}
+
+// Name implements dom.Algorithm.
+func (c *Convergent) Name() string { return fmt.Sprintf("Convergent(w=%d)", c.window) }
+
+// Scheme implements dom.Algorithm.
+func (c *Convergent) Scheme() model.Set { return c.scheme }
+
+func (c *Convergent) observe(q model.Request) {
+	c.history = append(c.history, q)
+	if q.IsRead() {
+		c.reads[q.Processor]++
+	} else {
+		c.writes++
+	}
+	if len(c.history) > c.window {
+		old := c.history[0]
+		c.history = c.history[1:]
+		if old.IsRead() {
+			c.reads[old.Processor]--
+		} else {
+			c.writes--
+		}
+	}
+}
+
+// wantsCopy is the expansion test: replicate at p while p's windowed read
+// count strictly exceeds the windowed write count.
+func (c *Convergent) wantsCopy(p model.ProcessorID) bool {
+	return c.reads[p] > c.writes
+}
+
+// Step implements dom.Algorithm.
+func (c *Convergent) Step(q model.Request) model.Step {
+	c.observe(q)
+	i := q.Processor
+	if q.IsRead() {
+		if c.scheme.Contains(i) {
+			return model.Step{Request: q, Exec: model.NewSet(i)}
+		}
+		server := c.serverFor()
+		if c.wantsCopy(i) {
+			c.scheme = c.scheme.Add(i)
+			return model.Step{Request: q, Exec: model.NewSet(server), Saving: true}
+		}
+		return model.Step{Request: q, Exec: model.NewSet(server)}
+	}
+	// Write: keep the core, the writer, and every current member that
+	// still earns its copy; pad with the anchor to preserve t-availability.
+	next := c.core.Add(i)
+	c.scheme.ForEach(func(p model.ProcessorID) {
+		if c.wantsCopy(p) {
+			next = next.Add(p)
+		}
+	})
+	if next.Size() < c.t {
+		next = next.Add(c.anchor)
+	}
+	c.scheme = next
+	return model.Step{Request: q, Exec: next}
+}
+
+func (c *Convergent) serverFor() model.ProcessorID {
+	if !c.core.IsEmpty() {
+		return c.core.Min()
+	}
+	return c.scheme.Min()
+}
+
+// KThreshold is the CDDR-flavoured threshold family. Each processor outside
+// the scheme must issue K reads (since the last write invalidated it) before
+// its K-th read becomes a saving-read. Writes behave exactly as in DA.
+type KThreshold struct {
+	core    model.Set
+	anchor  model.ProcessorID
+	scheme  model.Set
+	k       int
+	pending map[model.ProcessorID]int
+}
+
+// NewKThreshold creates the threshold algorithm; k >= 1.
+func NewKThreshold(initial model.Set, t, k int) (*KThreshold, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("baseline: t = %d, must be at least 1", t)
+	}
+	if initial.Size() < t {
+		return nil, fmt.Errorf("baseline: initial scheme %v smaller than t = %d", initial, t)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k = %d, must be at least 1", k)
+	}
+	var core model.Set
+	for j := 0; j < t-1; j++ {
+		core = core.Add(initial.Member(j))
+	}
+	return &KThreshold{
+		core:    core,
+		anchor:  initial.Member(t - 1),
+		scheme:  initial,
+		k:       k,
+		pending: make(map[model.ProcessorID]int),
+	}, nil
+}
+
+// KThresholdFactory returns a dom.Factory for a fixed k.
+func KThresholdFactory(k int) dom.Factory {
+	return func(initial model.Set, t int) (dom.Algorithm, error) {
+		return NewKThreshold(initial, t, k)
+	}
+}
+
+// Name implements dom.Algorithm.
+func (a *KThreshold) Name() string { return fmt.Sprintf("DA-k(%d)", a.k) }
+
+// Scheme implements dom.Algorithm.
+func (a *KThreshold) Scheme() model.Set { return a.scheme }
+
+// Step implements dom.Algorithm.
+func (a *KThreshold) Step(q model.Request) model.Step {
+	i := q.Processor
+	if q.IsRead() {
+		if a.scheme.Contains(i) {
+			return model.Step{Request: q, Exec: model.NewSet(i)}
+		}
+		server := a.core
+		if server.IsEmpty() {
+			server = a.scheme
+		}
+		a.pending[i]++
+		if a.pending[i] >= a.k {
+			a.pending[i] = 0
+			a.scheme = a.scheme.Add(i)
+			return model.Step{Request: q, Exec: model.NewSet(server.Min()), Saving: true}
+		}
+		return model.Step{Request: q, Exec: model.NewSet(server.Min())}
+	}
+	// Write: as in DA.
+	var exec model.Set
+	if a.core.Contains(i) || i == a.anchor {
+		exec = a.core.Add(a.anchor)
+	} else {
+		exec = a.core.Add(i)
+	}
+	a.scheme = exec
+	// A write invalidates everyone's progress toward the threshold.
+	for p := range a.pending {
+		delete(a.pending, p)
+	}
+	return model.Step{Request: q, Exec: exec}
+}
+
+// FullRepl replicates the object at every processor of a fixed universe:
+// every write propagates to the whole universe, so reads by universe
+// members become local after the first write. It is the extreme static
+// allocation — the other end of the spectrum from SA's minimal fixed scheme.
+//
+// Before the first write, a universe member outside the initial scheme does
+// not yet hold the latest version; its read is served remotely as a
+// saving-read, so the scheme is always legal.
+type FullRepl struct {
+	universe model.Set
+	scheme   model.Set
+}
+
+// NewFullRepl creates the full-replication algorithm over the universe.
+// The universe must contain the initial scheme and at least t processors.
+func NewFullRepl(universe, initial model.Set, t int) (*FullRepl, error) {
+	if universe.Size() < t {
+		return nil, fmt.Errorf("baseline: universe %v smaller than t = %d", universe, t)
+	}
+	if !initial.SubsetOf(universe) {
+		return nil, fmt.Errorf("baseline: initial scheme %v outside universe %v", initial, universe)
+	}
+	return &FullRepl{universe: universe, scheme: initial}, nil
+}
+
+// FullReplFactory returns a dom.Factory over a fixed universe.
+func FullReplFactory(universe model.Set) dom.Factory {
+	return func(initial model.Set, t int) (dom.Algorithm, error) {
+		return NewFullRepl(universe, initial, t)
+	}
+}
+
+// Name implements dom.Algorithm.
+func (f *FullRepl) Name() string { return "FullRepl" }
+
+// Scheme implements dom.Algorithm.
+func (f *FullRepl) Scheme() model.Set { return f.scheme }
+
+// Step implements dom.Algorithm.
+func (f *FullRepl) Step(q model.Request) model.Step {
+	i := q.Processor
+	if q.IsRead() {
+		if f.scheme.Contains(i) {
+			return model.Step{Request: q, Exec: model.NewSet(i)}
+		}
+		server := f.scheme.Min()
+		f.scheme = f.scheme.Add(i)
+		return model.Step{Request: q, Exec: model.NewSet(server), Saving: true}
+	}
+	f.scheme = f.universe.Add(i)
+	return model.Step{Request: q, Exec: f.scheme}
+}

@@ -1,0 +1,225 @@
+// Package cache explores the boundary the paper draws in §5.2 between
+// replicated data in distributed databases and caching / distributed
+// virtual memory (CDVM). Two of the paper's distinctions become executable
+// here:
+//
+//   - "in this paper we assumed that storage at a processor is abundant" —
+//     this package removes that assumption: each processor holds at most
+//     Capacity objects and evicts by LRU or MRU when full, as in the CDVM
+//     literature the paper cites;
+//   - in CDVM a copy is lost not only to write-invalidation but also to
+//     replacement, so a reader can lose its replica without any write
+//     happening — which degrades dynamic allocation's saving-reads.
+//
+// The manager runs a DA-style policy per object (remote reads save a local
+// copy; writes install at a fixed core plus the writer and invalidate other
+// copies) over a directory of many objects, with the paper's cost
+// accounting. With Capacity = 0 (unbounded) no copy is ever lost to
+// replacement, and the total cost is monotone non-increasing in capacity —
+// properties the tests assert. Shrinking the capacity makes the eviction
+// churn visible as extra communication cost, quantifying how much the
+// paper's abundant-storage assumption is worth on a given workload.
+package cache
+
+import (
+	"fmt"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+)
+
+// Replacement selects the victim policy.
+type Replacement int
+
+const (
+	// LRU evicts the least recently used object.
+	LRU Replacement = iota
+	// MRU evicts the most recently used object (better under sequential
+	// scans, as the CDVM literature observes).
+	MRU
+)
+
+// String implements fmt.Stringer.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case MRU:
+		return "MRU"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config describes the bounded-storage manager.
+type Config struct {
+	// N is the number of processors.
+	N int
+	// Capacity is the number of objects one processor can hold; 0 means
+	// unbounded (the paper's abundant-storage assumption).
+	Capacity int
+	// Replacement selects LRU or MRU.
+	Replacement Replacement
+	// Core is the set of processors that always hold every object (the
+	// DA cores, exempt from eviction); empty means {0}. Core capacity is
+	// unbounded — they are the servers.
+	Core model.Set
+	// Model prices the accounting.
+	Model cost.Model
+}
+
+// Manager is the bounded-storage multi-object replica manager.
+type Manager struct {
+	cfg Config
+	// holders[obj] is the set of processors with a valid copy.
+	holders map[string]model.Set
+	// resident[p] tracks which objects processor p currently caches,
+	// in recency order (front = least recently used).
+	resident map[model.ProcessorID][]string
+	counts   cost.Counts
+	// evictions counts replacement-driven copy losses.
+	evictions int
+	clock     uint64
+}
+
+// New creates the manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("cache: N = %d", cfg.N)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Core.IsEmpty() {
+		cfg.Core = model.NewSet(0)
+	}
+	if !cfg.Core.SubsetOf(model.FullSet(cfg.N)) {
+		return nil, fmt.Errorf("cache: core %v outside processors 0..%d", cfg.Core, cfg.N-1)
+	}
+	return &Manager{
+		cfg:      cfg,
+		holders:  make(map[string]model.Set),
+		resident: make(map[model.ProcessorID][]string),
+	}, nil
+}
+
+// holdersOf returns the current holders, creating the object at the core
+// on first touch.
+func (m *Manager) holdersOf(obj string) model.Set {
+	h, ok := m.holders[obj]
+	if !ok {
+		h = m.cfg.Core
+		m.holders[obj] = h
+	}
+	return h
+}
+
+// Read services a read of obj at processor p and returns its cost.
+func (m *Manager) Read(obj string, p model.ProcessorID) float64 {
+	h := m.holdersOf(obj)
+	var c cost.Counts
+	if h.Contains(p) {
+		c = cost.Counts{IO: 1}
+		m.touch(p, obj)
+	} else {
+		// Remote saving-read from the core, as in DA.
+		c = cost.Counts{Control: 1, Data: 1, IO: 2}
+		m.install(p, obj)
+	}
+	m.counts = m.counts.Add(c)
+	return c.Price(m.cfg.Model)
+}
+
+// Write services a write of obj at processor p and returns its cost. The
+// new version is installed at the core and the writer (DA's execution
+// set); every other copy is invalidated.
+func (m *Manager) Write(obj string, p model.ProcessorID) float64 {
+	h := m.holdersOf(obj)
+	exec := m.cfg.Core.Add(p)
+	obsolete := h.Diff(exec)
+	c := cost.Counts{Control: obsolete.Size(), IO: exec.Size()}
+	if m.cfg.Core.Contains(p) {
+		c.Data = exec.Size() - 1
+	} else {
+		c.Data = exec.Size() - 1 // writer ships to the core members
+	}
+	// Invalidate the obsolete copies (they leave their caches too).
+	obsolete.ForEach(func(q model.ProcessorID) { m.drop(q, obj) })
+	m.holders[obj] = exec
+	if !m.cfg.Core.Contains(p) {
+		m.install(p, obj)
+	} else {
+		m.touch(p, obj)
+	}
+	m.counts = m.counts.Add(c)
+	return c.Price(m.cfg.Model)
+}
+
+// install places obj in p's cache, evicting if full. Core processors hold
+// everything and never evict.
+func (m *Manager) install(p model.ProcessorID, obj string) {
+	if m.cfg.Core.Contains(p) {
+		m.holders[obj] = m.holdersOf(obj).Add(p)
+		return
+	}
+	res := m.resident[p]
+	for _, o := range res {
+		if o == obj {
+			m.touch(p, obj)
+			m.holders[obj] = m.holdersOf(obj).Add(p)
+			return
+		}
+	}
+	if m.cfg.Capacity > 0 && len(res) >= m.cfg.Capacity {
+		// Evict per policy: front = LRU victim, back = MRU victim.
+		victimIdx := 0
+		if m.cfg.Replacement == MRU {
+			victimIdx = len(res) - 1
+		}
+		victim := res[victimIdx]
+		res = append(res[:victimIdx], res[victimIdx+1:]...)
+		m.holders[victim] = m.holdersOf(victim).Remove(p)
+		m.evictions++
+	}
+	m.resident[p] = append(res, obj)
+	m.holders[obj] = m.holdersOf(obj).Add(p)
+}
+
+// touch moves obj to the most-recently-used end of p's cache order.
+func (m *Manager) touch(p model.ProcessorID, obj string) {
+	res := m.resident[p]
+	for i, o := range res {
+		if o == obj {
+			res = append(res[:i], res[i+1:]...)
+			m.resident[p] = append(res, obj)
+			return
+		}
+	}
+}
+
+// drop removes obj from p's cache (write invalidation).
+func (m *Manager) drop(p model.ProcessorID, obj string) {
+	res := m.resident[p]
+	for i, o := range res {
+		if o == obj {
+			m.resident[p] = append(res[:i], res[i+1:]...)
+			return
+		}
+	}
+}
+
+// Counts returns the accumulated accounting.
+func (m *Manager) Counts() cost.Counts { return m.counts }
+
+// Cost prices the accumulated accounting.
+func (m *Manager) Cost() float64 { return m.counts.Price(m.cfg.Model) }
+
+// Evictions returns the number of replacement-driven copy losses.
+func (m *Manager) Evictions() int { return m.evictions }
+
+// HoldersOf returns the processors currently holding obj (creating it if
+// absent, like a read would).
+func (m *Manager) HoldersOf(obj string) model.Set { return m.holdersOf(obj) }

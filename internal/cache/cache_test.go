@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+)
+
+func newManager(t *testing.T, capacity int, repl Replacement) *Manager {
+	t.Helper()
+	m, err := New(Config{N: 6, Capacity: capacity, Replacement: repl, Model: cost.SC(0.3, 1.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 0, Model: cost.SC(0.3, 1.2)}); err == nil {
+		t.Error("N = 0 accepted")
+	}
+	if _, err := New(Config{N: 3, Capacity: -1, Model: cost.SC(0.3, 1.2)}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := New(Config{N: 3, Model: cost.SC(2, 1)}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := New(Config{N: 3, Core: model.NewSet(7), Model: cost.SC(0.3, 1.2)}); err == nil {
+		t.Error("core outside processors accepted")
+	}
+}
+
+func TestReplacementString(t *testing.T) {
+	if LRU.String() != "LRU" || MRU.String() != "MRU" || Replacement(9).String() == "" {
+		t.Error("replacement strings wrong")
+	}
+}
+
+func TestBasicCosts(t *testing.T) {
+	m := newManager(t, 0, LRU)
+	// First touch: the core {0} holds the object. A remote read by 3 is a
+	// saving read: 1cc + 1cd + 2io.
+	c := m.Read("a", 3)
+	want := cost.Counts{Control: 1, Data: 1, IO: 2}.Price(cost.SC(0.3, 1.2))
+	if c != want {
+		t.Errorf("remote read cost = %g, want %g", c, want)
+	}
+	// Repeat read: local, 1 io.
+	if c := m.Read("a", 3); c != 1 {
+		t.Errorf("local read cost = %g, want 1", c)
+	}
+	// Write by 5: exec {0,5}, invalidate 3: 1cc + 1cd + 2io.
+	c = m.Write("a", 5)
+	if c != want {
+		t.Errorf("write cost = %g, want %g", c, want)
+	}
+	if got := m.HoldersOf("a"); got != model.NewSet(0, 5) {
+		t.Errorf("holders = %v", got)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	m := newManager(t, 0, LRU)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		obj := fmt.Sprintf("o%d", rng.Intn(50))
+		p := model.ProcessorID(rng.Intn(6))
+		if rng.Float64() < 0.2 {
+			m.Write(obj, p)
+		} else {
+			m.Read(obj, p)
+		}
+	}
+	if m.Evictions() != 0 {
+		t.Errorf("unbounded manager evicted %d times", m.Evictions())
+	}
+}
+
+func TestCapacityOneThrashes(t *testing.T) {
+	m := newManager(t, 1, LRU)
+	// Processor 3 alternates between two objects: every read misses.
+	m.Read("a", 3)
+	m.Read("b", 3) // evicts a
+	if m.Evictions() != 1 {
+		t.Fatalf("evictions = %d", m.Evictions())
+	}
+	c := m.Read("a", 3) // miss again
+	remote := cost.Counts{Control: 1, Data: 1, IO: 2}.Price(cost.SC(0.3, 1.2))
+	if c != remote {
+		t.Errorf("thrashing read cost = %g, want remote %g", c, remote)
+	}
+}
+
+// The abundant-storage assumption quantified: cost is monotone
+// non-increasing in capacity on any fixed workload.
+func TestCostMonotoneInCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type op struct {
+		obj   string
+		p     model.ProcessorID
+		write bool
+	}
+	var ops []op
+	for i := 0; i < 800; i++ {
+		ops = append(ops, op{
+			obj:   fmt.Sprintf("o%d", rng.Intn(12)),
+			p:     model.ProcessorID(rng.Intn(6)),
+			write: rng.Float64() < 0.15,
+		})
+	}
+	run := func(capacity int) float64 {
+		m := newManager(t, capacity, LRU)
+		for _, o := range ops {
+			if o.write {
+				m.Write(o.obj, o.p)
+			} else {
+				m.Read(o.obj, o.p)
+			}
+		}
+		return m.Cost()
+	}
+	prev := run(1)
+	for _, capacity := range []int{2, 4, 8, 0} {
+		cur := run(capacity)
+		if cur > prev+1e-9 {
+			t.Errorf("capacity %d cost %g exceeds smaller capacity's %g", capacity, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLRUvsMRUOnScan(t *testing.T) {
+	// A cyclic scan over capacity+1 objects is LRU's classic worst case:
+	// every access evicts the next victim. MRU keeps most of the loop
+	// resident.
+	drive := func(repl Replacement) float64 {
+		m := newManager(t, 3, repl)
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 4; i++ {
+				m.Read(fmt.Sprintf("o%d", i), 5)
+			}
+		}
+		return m.Cost()
+	}
+	lru, mru := drive(LRU), drive(MRU)
+	if mru >= lru {
+		t.Errorf("MRU (%g) should beat LRU (%g) on a cyclic scan", mru, lru)
+	}
+}
+
+func TestWriteInvalidationAlsoDropsCacheEntry(t *testing.T) {
+	m := newManager(t, 2, LRU)
+	m.Read("a", 3)
+	m.Write("a", 4) // invalidates 3's copy
+	if m.HoldersOf("a").Contains(3) {
+		t.Error("holder not invalidated")
+	}
+	// 3's slot was freed: two more objects fit without eviction.
+	m.Read("b", 3)
+	m.Read("c", 3)
+	if m.Evictions() != 0 {
+		t.Errorf("evictions = %d, want 0 (slot was freed by invalidation)", m.Evictions())
+	}
+}
+
+func TestCoreIsEvictionExempt(t *testing.T) {
+	mgr, err := New(Config{N: 4, Capacity: 1, Core: model.NewSet(0, 1), Model: cost.SC(0.3, 1.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mgr.Write(fmt.Sprintf("o%d", i), 0)
+	}
+	// Core members hold all ten objects despite Capacity = 1.
+	for i := 0; i < 10; i++ {
+		if h := mgr.HoldersOf(fmt.Sprintf("o%d", i)); !h.Contains(0) || !h.Contains(1) {
+			t.Fatalf("core lost o%d: %v", i, h)
+		}
+	}
+}
+
+func TestCountsAccumulate(t *testing.T) {
+	m := newManager(t, 0, LRU)
+	m.Read("a", 3)
+	m.Write("a", 2)
+	counts := m.Counts()
+	if counts.IO == 0 || counts.Data == 0 || counts.Control == 0 {
+		t.Errorf("counts = %v", counts)
+	}
+	if m.Cost() != counts.Price(cost.SC(0.3, 1.2)) {
+		t.Error("Cost() inconsistent with Counts()")
+	}
+}

@@ -1,0 +1,78 @@
+package competitive
+
+import (
+	"fmt"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+// Family generates the k-th member of a growing schedule family, e.g. the
+// read-run nemesis with k repetitions.
+type Family func(k int) model.Schedule
+
+// AsymptoticFit estimates the asymptotic competitive ratio of an algorithm
+// on a schedule family by least-squares: fitting
+//
+//	COST_A(ψ_k) ≈ α·COST_OPT(ψ_k) + β
+//
+// over the family members separates the competitive factor α from the
+// additive constant β that finite-ratio measurements smear together —
+// plain ratios approach α only as k → ∞, while the fitted slope hits it at
+// small k (Proposition 1's tightness becomes a two-decimal check instead
+// of a limit argument).
+type AsymptoticFit struct {
+	// Alpha is the fitted slope: the estimated competitive factor.
+	Alpha float64
+	// Beta is the fitted intercept: the estimated additive constant.
+	Beta float64
+	// MaxResidual is the largest absolute deviation of a family member
+	// from the fitted line — near zero when the family is exactly affine
+	// in OPT, as the nemesis families are.
+	MaxResidual float64
+}
+
+// FitAsymptotic measures the algorithm and the optimum on each family
+// member and fits the line. At least two distinct sizes are required.
+func FitAsymptotic(m cost.Model, f dom.Factory, family Family, ks []int, initial model.Set, t int) (AsymptoticFit, error) {
+	if len(ks) < 2 {
+		return AsymptoticFit{}, fmt.Errorf("competitive: need at least two family sizes")
+	}
+	xs := make([]float64, 0, len(ks))
+	ys := make([]float64, 0, len(ks))
+	for _, k := range ks {
+		meas, err := Ratio(m, f, family(k), initial, t)
+		if err != nil {
+			return AsymptoticFit{}, err
+		}
+		xs = append(xs, meas.OptCost)
+		ys = append(ys, meas.AlgCost)
+	}
+	// Least squares.
+	var sumX, sumY, sumXX, sumXY float64
+	n := float64(len(xs))
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXX += xs[i] * xs[i]
+		sumXY += xs[i] * ys[i]
+	}
+	den := n*sumXX - sumX*sumX
+	if den <= 1e-9*(sumXX+1) {
+		return AsymptoticFit{}, fmt.Errorf("competitive: family sizes produced (nearly) identical optimum costs; cannot fit a slope")
+	}
+	fit := AsymptoticFit{}
+	fit.Alpha = (n*sumXY - sumX*sumY) / den
+	fit.Beta = (sumY - fit.Alpha*sumX) / n
+	for i := range xs {
+		r := ys[i] - (fit.Alpha*xs[i] + fit.Beta)
+		if r < 0 {
+			r = -r
+		}
+		if r > fit.MaxResidual {
+			fit.MaxResidual = r
+		}
+	}
+	return fit, nil
+}

@@ -1,0 +1,78 @@
+package competitive
+
+import (
+	"math/rand"
+
+	"objalloc/internal/adversary"
+	"objalloc/internal/model"
+	"objalloc/internal/workload"
+)
+
+// BatteryConfig describes the schedule battery used for worst-case
+// measurements at one point of the (cd, cc) plane.
+type BatteryConfig struct {
+	// N is the number of processors (the offline optimum limits this to
+	// opt.MaxUniverse).
+	N int
+	// T is the availability threshold; the initial scheme is {0..T-1}.
+	T int
+	// RandomSchedules is the number of random schedules per write-mix.
+	RandomSchedules int
+	// RandomLength is the length of each random schedule.
+	RandomLength int
+	// NemesisRounds scales the adversarial families: the read-run length
+	// for SAPunisher and the number of rounds for DAPunisher.
+	NemesisRounds int
+	// Seed makes the battery reproducible.
+	Seed int64
+}
+
+// DefaultBattery is the configuration used by the figure sweeps: large
+// enough to expose each algorithm's worst behaviour, small enough that a
+// full plane sweep runs in seconds.
+func DefaultBattery() BatteryConfig {
+	return BatteryConfig{N: 5, T: 2, RandomSchedules: 4, RandomLength: 36, NemesisRounds: 60, Seed: 1994}
+}
+
+// Initial returns the initial allocation scheme the battery assumes.
+func (c BatteryConfig) Initial() model.Set { return model.FullSet(c.T) }
+
+// Build constructs the battery: uniform random mixes across write
+// fractions, a skewed mix, and the nemesis families for both SA and DA so
+// that every algorithm's bad case is represented.
+func (c BatteryConfig) Build() []model.Schedule {
+	rng := rand.New(rand.NewSource(c.Seed))
+	var battery []model.Schedule
+
+	for _, pWrite := range []float64{0.05, 0.2, 0.5, 0.8} {
+		for i := 0; i < c.RandomSchedules; i++ {
+			battery = append(battery, workload.Uniform(rng, c.N, c.RandomLength, pWrite))
+		}
+	}
+	battery = append(battery, workload.Zipf(rng, c.N, c.RandomLength, 0.2, 1.8))
+
+	// SA's nemesis: a long read run from a processor outside the initial
+	// scheme (Propositions 1 and 3).
+	outsider := model.ProcessorID(c.T) // first processor outside {0..T-1}
+	if c.N > c.T {
+		battery = append(battery, adversary.SAPunisher(outsider, c.NemesisRounds))
+	}
+
+	// DA's nemesis: rounds of distinct outsider reads punctuated by core
+	// writes (Proposition 2).
+	var readers []model.ProcessorID
+	for p := c.T; p < c.N; p++ {
+		readers = append(readers, model.ProcessorID(p))
+	}
+	if len(readers) > 0 {
+		if s, err := adversary.DAPunisher(readers, 0, c.NemesisRounds); err == nil {
+			battery = append(battery, s)
+		}
+	}
+
+	// Ping-pong between a scheme member and an outsider.
+	if c.N > c.T {
+		battery = append(battery, adversary.PingPong(0, outsider, c.NemesisRounds))
+	}
+	return battery
+}

@@ -1,0 +1,69 @@
+package competitive
+
+import (
+	"fmt"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+)
+
+// CrossoverResult locates, for one cc, the cd at which the measured
+// worst-case winner flips from SA to DA.
+type CrossoverResult struct {
+	CC float64
+	// CD is the bisected crossover point; meaningful only when
+	// DAEverywhere is false.
+	CD float64
+	// DAEverywhere reports that DA already wins at the smallest
+	// admissible cd (= cc), so no crossover exists in the range.
+	DAEverywhere bool
+}
+
+// Crossover bisects the measured SA/DA crossover on the cd axis for a
+// fixed cc, within (cc, cdMax], using iters bisection steps over the
+// battery's worst-case ratios. The paper's bounds only bracket this point
+// inside [0.5−cc, 1]; the measurement pins it down for a concrete battery.
+func Crossover(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverResult, error) {
+	if cdMax <= cc {
+		return CrossoverResult{}, fmt.Errorf("competitive: cdMax (%g) must exceed cc (%g)", cdMax, cc)
+	}
+	if iters < 1 {
+		iters = 10
+	}
+	scheds := battery.Build()
+	initial := battery.Initial()
+	daWins := func(cd float64) (bool, error) {
+		m := cost.SC(cc, cd)
+		sa, err := WorstRatio(m, dom.StaticFactory, scheds, initial, battery.T)
+		if err != nil {
+			return false, err
+		}
+		da, err := WorstRatio(m, dom.DynamicFactory, scheds, initial, battery.T)
+		if err != nil {
+			return false, err
+		}
+		return da.Ratio <= sa.Ratio, nil
+	}
+
+	lo, hi := cc, cdMax
+	win, err := daWins(lo)
+	if err != nil {
+		return CrossoverResult{}, err
+	}
+	if win {
+		return CrossoverResult{CC: cc, CD: cc, DAEverywhere: true}, nil
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		win, err := daWins(mid)
+		if err != nil {
+			return CrossoverResult{}, err
+		}
+		if win {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return CrossoverResult{CC: cc, CD: (lo + hi) / 2}, nil
+}

@@ -1,0 +1,109 @@
+// Package competitive implements the paper's evaluation methodology (§2,
+// §4.1): measuring how far an online DOM algorithm strays from the optimal
+// offline algorithm, in the worst case, over families of schedules.
+//
+// The paper proves competitiveness bounds; this package reproduces them
+// empirically. For an algorithm A and a schedule ψ it computes
+// COST_A(I, ψ) / COST_OPT(I, ψ) with the exact offline optimum of package
+// opt, takes worst cases over schedule batteries (random mixes plus the
+// nemesis families of package adversary, plus hill-climbing adversarial
+// search), and sweeps the (cd, cc) plane to regenerate the superiority
+// region maps of the paper's figures 1 and 2.
+package competitive
+
+import (
+	"fmt"
+	"math"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/opt"
+)
+
+// Measurement is the outcome of comparing one algorithm run against the
+// offline optimum on one schedule.
+type Measurement struct {
+	// AlgCost is COST_A(I, ψ).
+	AlgCost float64
+	// OptCost is COST_OPT(I, ψ).
+	OptCost float64
+	// Ratio is AlgCost / OptCost; 1 when both are zero, +Inf when only
+	// OptCost is zero.
+	Ratio float64
+}
+
+// Ratio runs the algorithm produced by the factory on the schedule,
+// validates the resulting allocation schedule, and compares its cost
+// against the exact offline optimum.
+func Ratio(m cost.Model, f dom.Factory, sched model.Schedule, initial model.Set, t int) (Measurement, error) {
+	las, err := dom.RunFactory(f, initial, t, sched)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := las.Validate(initial, t); err != nil {
+		return Measurement{}, fmt.Errorf("competitive: algorithm produced invalid schedule: %w", err)
+	}
+	algCost := cost.ScheduleCost(m, las, initial)
+	optCost, err := opt.SolveCost(m, sched, initial, t)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{AlgCost: algCost, OptCost: optCost, Ratio: ratioOf(algCost, optCost)}, nil
+}
+
+func ratioOf(alg, optimal float64) float64 {
+	switch {
+	case optimal > 0:
+		return alg / optimal
+	case alg == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Worst is the worst-case measurement over a battery of schedules.
+type Worst struct {
+	Measurement
+	// Schedule is the schedule that attained the worst ratio.
+	Schedule model.Schedule
+}
+
+// WorstRatio measures the algorithm on every schedule and returns the
+// maximum ratio together with the witness schedule.
+func WorstRatio(m cost.Model, f dom.Factory, scheds []model.Schedule, initial model.Set, t int) (Worst, error) {
+	if len(scheds) == 0 {
+		return Worst{}, fmt.Errorf("competitive: empty schedule battery")
+	}
+	var w Worst
+	w.Ratio = -1
+	for _, s := range scheds {
+		meas, err := Ratio(m, f, s, initial, t)
+		if err != nil {
+			return Worst{}, err
+		}
+		if meas.Ratio > w.Ratio {
+			w.Measurement = meas
+			w.Schedule = s
+		}
+	}
+	return w, nil
+}
+
+// MeanRatio measures the algorithm on every schedule and returns the mean
+// ratio — the average-case view used by experiment E12.
+func MeanRatio(m cost.Model, f dom.Factory, scheds []model.Schedule, initial model.Set, t int) (float64, error) {
+	if len(scheds) == 0 {
+		return 0, fmt.Errorf("competitive: empty schedule battery")
+	}
+	var sum float64
+	for _, s := range scheds {
+		meas, err := Ratio(m, f, s, initial, t)
+		if err != nil {
+			return 0, err
+		}
+		sum += meas.Ratio
+	}
+	return sum / float64(len(scheds)), nil
+}

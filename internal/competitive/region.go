@@ -1,0 +1,159 @@
+package competitive
+
+import (
+	"fmt"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+)
+
+// Region classifies one point of the (cd, cc) plane, as in the paper's
+// figures 1 and 2.
+type Region int
+
+const (
+	// RegionCannotBeTrue marks cc > cd: a data message (which carries the
+	// object in addition to the control fields) cannot cost less than a
+	// control message.
+	RegionCannotBeTrue Region = iota
+	// RegionSASuperior marks points where static allocation has the lower
+	// worst-case cost.
+	RegionSASuperior
+	// RegionDASuperior marks points where dynamic allocation has the
+	// lower worst-case cost.
+	RegionDASuperior
+	// RegionUnknown marks points where the paper's bounds do not separate
+	// the two algorithms (the gap between DA's upper and lower bound).
+	RegionUnknown
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case RegionCannotBeTrue:
+		return "cannot-be-true"
+	case RegionSASuperior:
+		return "SA"
+	case RegionDASuperior:
+		return "DA"
+	case RegionUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Rune is the single-character rendering used in the ASCII figures.
+func (r Region) Rune() rune {
+	switch r {
+	case RegionCannotBeTrue:
+		return 'x'
+	case RegionSASuperior:
+		return 'S'
+	case RegionDASuperior:
+		return 'D'
+	default:
+		return '?'
+	}
+}
+
+// AnalyticRegionSC classifies a stationary-model point from the paper's
+// bounds (figure 1):
+//
+//   - cc > cd cannot be true;
+//   - cd > 1 (the data message costs more than one I/O): SA's tight lower
+//     bound 1+cc+cd exceeds DA's upper bound 2+cc, so DA is superior;
+//   - cc + cd < 0.5: SA's upper bound 1+cc+cd is below DA's lower bound
+//     1.5, so SA is superior;
+//   - otherwise the bounds leave the point unknown.
+func AnalyticRegionSC(cc, cd float64) Region {
+	switch {
+	case cc > cd:
+		return RegionCannotBeTrue
+	case cd > 1:
+		return RegionDASuperior
+	case cc+cd < 0.5:
+		return RegionSASuperior
+	default:
+		return RegionUnknown
+	}
+}
+
+// AnalyticRegionMC classifies a mobile-model point (figure 2): SA is not
+// competitive at all (Proposition 3) while DA is (Theorem 4), so DA is
+// superior on the whole admissible half-plane.
+func AnalyticRegionMC(cc, cd float64) Region {
+	switch {
+	case cc > cd:
+		return RegionCannotBeTrue
+	case cd == 0:
+		// All communication free: every algorithm costs zero.
+		return RegionUnknown
+	default:
+		return RegionDASuperior
+	}
+}
+
+// GridPoint is one measured point of a plane sweep.
+type GridPoint struct {
+	CC, CD float64
+	// Analytic is the classification from the paper's bounds.
+	Analytic Region
+	// SAWorst and DAWorst are the measured worst-case ratios over the
+	// battery (NaN in the cannot-be-true region, which is skipped).
+	SAWorst, DAWorst float64
+	// Empirical is the classification by measured worst case: whichever
+	// algorithm has the strictly lower worst ratio.
+	Empirical Region
+}
+
+// Sweep measures SA and DA over the battery at every point of a
+// (cd, cc) grid and classifies each point both analytically and
+// empirically. mobile selects the MC cost model (figure 2) instead of SC
+// (figure 1). The grids are the cd values crossed with the cc values;
+// points with cc > cd are marked cannot-be-true and skipped.
+func Sweep(cds, ccs []float64, mobile bool, battery BatteryConfig) ([]GridPoint, error) {
+	scheds := battery.Build()
+	initial := battery.Initial()
+	var points []GridPoint
+	for _, ccv := range ccs {
+		for _, cdv := range cds {
+			p := GridPoint{CC: ccv, CD: cdv}
+			if mobile {
+				p.Analytic = AnalyticRegionMC(ccv, cdv)
+			} else {
+				p.Analytic = AnalyticRegionSC(ccv, cdv)
+			}
+			if p.Analytic == RegionCannotBeTrue {
+				p.Empirical = RegionCannotBeTrue
+				points = append(points, p)
+				continue
+			}
+			var m cost.Model
+			if mobile {
+				m = cost.MC(ccv, cdv)
+			} else {
+				m = cost.SC(ccv, cdv)
+			}
+			sa, err := WorstRatio(m, dom.StaticFactory, scheds, initial, battery.T)
+			if err != nil {
+				return nil, fmt.Errorf("competitive: sweep SA at cc=%g cd=%g: %w", ccv, cdv, err)
+			}
+			da, err := WorstRatio(m, dom.DynamicFactory, scheds, initial, battery.T)
+			if err != nil {
+				return nil, fmt.Errorf("competitive: sweep DA at cc=%g cd=%g: %w", ccv, cdv, err)
+			}
+			p.SAWorst, p.DAWorst = sa.Ratio, da.Ratio
+			switch {
+			case sa.Ratio < da.Ratio:
+				p.Empirical = RegionSASuperior
+			case da.Ratio < sa.Ratio:
+				p.Empirical = RegionDASuperior
+			default:
+				p.Empirical = RegionUnknown
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,84 @@
+package competitive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderGrid draws a sweep as an ASCII region map in the style of the
+// paper's figures 1 and 2: cd increases along the x axis, cc along the
+// y axis (top row = largest cc). Each cell is the chosen classification's
+// rune: 'S' (SA superior), 'D' (DA superior), '?' (unknown/tied),
+// 'x' (cc > cd, cannot be true).
+//
+// empirical selects the measured classification; otherwise the analytic
+// one is drawn.
+func RenderGrid(points []GridPoint, empirical bool) string {
+	if len(points) == 0 {
+		return "(empty sweep)\n"
+	}
+	ccs := distinct(points, func(p GridPoint) float64 { return p.CC })
+	cds := distinct(points, func(p GridPoint) float64 { return p.CD })
+	cell := make(map[[2]float64]Region, len(points))
+	for _, p := range points {
+		r := p.Analytic
+		if empirical {
+			r = p.Empirical
+		}
+		cell[[2]float64{p.CC, p.CD}] = r
+	}
+
+	var b strings.Builder
+	b.WriteString(" cc\\cd |")
+	for _, cd := range cds {
+		fmt.Fprintf(&b, "%6.2f", cd)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 8+6*len(cds)))
+	b.WriteString("\n")
+	for i := len(ccs) - 1; i >= 0; i-- {
+		cc := ccs[i]
+		fmt.Fprintf(&b, "%6.2f |", cc)
+		for _, cd := range cds {
+			r, ok := cell[[2]float64{cc, cd}]
+			ch := ' '
+			if ok {
+				ch = r.Rune()
+			}
+			fmt.Fprintf(&b, "%5c ", ch)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("legend: S = SA superior, D = DA superior, ? = unknown, x = cannot be true (cc > cd)\n")
+	return b.String()
+}
+
+// RenderRatios tabulates the measured worst-case ratios of a sweep next to
+// the analytic bounds, one line per admissible grid point.
+func RenderRatios(points []GridPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %6s | %10s %10s | %-10s %-10s\n", "cc", "cd", "SA worst", "DA worst", "analytic", "empirical")
+	for _, p := range points {
+		if p.Analytic == RegionCannotBeTrue {
+			continue
+		}
+		fmt.Fprintf(&b, "%6.2f %6.2f | %10.3f %10.3f | %-10s %-10s\n",
+			p.CC, p.CD, p.SAWorst, p.DAWorst, p.Analytic, p.Empirical)
+	}
+	return b.String()
+}
+
+func distinct(points []GridPoint, key func(GridPoint) float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range points {
+		v := key(p)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,124 @@
+package competitive
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+// SearchConfig drives the adversarial schedule search: randomized
+// hill-climbing over fixed-length schedules, maximizing the algorithm's
+// cost ratio against the offline optimum. The search complements the
+// hand-built nemesis families — it probes whether worse schedules than the
+// analytic ones exist (tightness of the bounds).
+type SearchConfig struct {
+	// Model is the cost model at which the ratio is maximized.
+	Model cost.Model
+	// Factory builds the algorithm under attack.
+	Factory dom.Factory
+	// N is the number of processors requests may come from.
+	N int
+	// T is the availability threshold; the initial scheme is {0..T-1}.
+	T int
+	// Length is the schedule length searched over.
+	Length int
+	// Restarts and Steps control the budget: Restarts independent climbs
+	// of Steps mutations each.
+	Restarts, Steps int
+	// Seed makes the search reproducible.
+	Seed int64
+	// Anneal enables simulated annealing: a worsening mutation is
+	// accepted with probability exp(Δratio/temperature), with the
+	// temperature cooling geometrically each step. Annealing escapes the
+	// local maxima plain hill-climbing gets stuck on.
+	Anneal bool
+	// InitialTemp and Cooling tune annealing; zero means 0.05 and 0.995.
+	InitialTemp, Cooling float64
+}
+
+// SearchResult is the best adversarial schedule found.
+type SearchResult struct {
+	Worst
+	// Evaluations is the number of ratio evaluations performed.
+	Evaluations int
+}
+
+// Search runs randomized hill-climbing: each restart begins from a random
+// schedule and repeatedly mutates one position (accepting non-decreasing
+// ratios), keeping the best schedule seen overall.
+func Search(cfg SearchConfig) (SearchResult, error) {
+	if cfg.N < 1 || cfg.Length < 1 {
+		return SearchResult{}, fmt.Errorf("competitive: search needs N >= 1 and Length >= 1")
+	}
+	if cfg.Restarts < 1 {
+		cfg.Restarts = 1
+	}
+	if cfg.InitialTemp == 0 {
+		cfg.InitialTemp = 0.05
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.995
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	initial := model.FullSet(cfg.T)
+	var best SearchResult
+	best.Ratio = -1
+
+	randomReq := func() model.Request {
+		p := model.ProcessorID(rng.Intn(cfg.N))
+		if rng.Intn(2) == 0 {
+			return model.W(p)
+		}
+		return model.R(p)
+	}
+
+	for r := 0; r < cfg.Restarts; r++ {
+		cur := make(model.Schedule, cfg.Length)
+		for i := range cur {
+			cur[i] = randomReq()
+		}
+		meas, err := Ratio(cfg.Model, cfg.Factory, cur, initial, cfg.T)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		best.Evaluations++
+		curRatio := meas.Ratio
+		if curRatio > best.Ratio {
+			best.Measurement = meas
+			best.Schedule = cur.Clone()
+		}
+		temp := cfg.InitialTemp
+		for s := 0; s < cfg.Steps; s++ {
+			pos := rng.Intn(cfg.Length)
+			old := cur[pos]
+			cur[pos] = randomReq()
+			if cur[pos] == old {
+				continue
+			}
+			meas, err := Ratio(cfg.Model, cfg.Factory, cur, initial, cfg.T)
+			if err != nil {
+				return SearchResult{}, err
+			}
+			best.Evaluations++
+			accept := meas.Ratio >= curRatio
+			if !accept && cfg.Anneal {
+				accept = rng.Float64() < math.Exp((meas.Ratio-curRatio)/temp)
+			}
+			if accept {
+				curRatio = meas.Ratio
+				if meas.Ratio > best.Ratio {
+					best.Measurement = meas
+					best.Schedule = cur.Clone()
+				}
+			} else {
+				cur[pos] = old
+			}
+			temp *= cfg.Cooling
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,71 @@
+// Package dom implements distributed object management (DOM) algorithms in
+// the sense of Huang & Wolfson (ICDE 1994), §3.4: an algorithm that, given a
+// schedule of read-write requests and an initial allocation scheme, produces
+// a corresponding legal allocation schedule — it decides which processors
+// execute each request and which reads save the object locally, thereby
+// determining the allocation scheme of the object at every point in time.
+//
+// The package provides the online-step framework and the two algorithms the
+// paper analyzes: read-one-write-all Static Allocation (SA, §4.2.1) and the
+// paper's contribution, Dynamic Allocation (DA, §4.2.2). Additional
+// baselines from the related-work discussion live in package baseline, and
+// the offline optimum lives in package opt.
+package dom
+
+import (
+	"fmt"
+
+	"objalloc/internal/model"
+)
+
+// Algorithm is an online DOM algorithm, §3.4: it services one request at a
+// time with no knowledge of future requests. An Algorithm instance is
+// stateful — it tracks the allocation scheme that results from the steps it
+// has produced — and single-use per run; Factory creates fresh instances.
+type Algorithm interface {
+	// Name identifies the algorithm in reports, e.g. "SA" or "DA".
+	Name() string
+	// Step services the next request of the schedule: it chooses the
+	// execution set and, for reads, whether to save, and updates the
+	// algorithm's notion of the current allocation scheme.
+	Step(q model.Request) model.Step
+	// Scheme returns the current allocation scheme (after all steps taken
+	// so far; initially the initial allocation scheme).
+	Scheme() model.Set
+}
+
+// Factory creates a fresh Algorithm instance for a run starting from the
+// given initial allocation scheme under the t-availability constraint.
+// It returns an error if the initial scheme is unusable (e.g. fewer than t
+// members).
+type Factory func(initial model.Set, t int) (Algorithm, error)
+
+// Run feeds every request of the schedule through the algorithm's online
+// step and returns the resulting allocation schedule (§3.4's las_A(ψ)).
+func Run(alg Algorithm, sched model.Schedule) model.AllocSchedule {
+	out := make(model.AllocSchedule, 0, len(sched))
+	for _, q := range sched {
+		out = append(out, alg.Step(q))
+	}
+	return out
+}
+
+// RunFactory instantiates the factory and runs the schedule, returning the
+// allocation schedule. It is the common entry point for experiments.
+func RunFactory(f Factory, initial model.Set, t int, sched model.Schedule) (model.AllocSchedule, error) {
+	alg, err := f(initial, t)
+	if err != nil {
+		return nil, err
+	}
+	return Run(alg, sched), nil
+}
+
+func checkInitial(initial model.Set, t int) error {
+	if t < 1 {
+		return fmt.Errorf("dom: availability threshold t = %d, must be at least 1", t)
+	}
+	if initial.Size() < t {
+		return fmt.Errorf("dom: initial allocation scheme %v has %d members, t-availability requires %d", initial, initial.Size(), t)
+	}
+	return nil
+}

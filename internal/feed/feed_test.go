@@ -1,0 +1,158 @@
+package feed
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+)
+
+func open(t *testing.T, policy Policy, stations, tAvail int) *Feed {
+	t.Helper()
+	f, err := Open(Config{Stations: stations, T: tAvail, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Stations: 1, T: 2}); err == nil {
+		t.Error("too few stations accepted")
+	}
+	if _, err := Open(Config{Stations: 3, T: 0}); err == nil {
+		t.Error("T = 0 accepted")
+	}
+	if _, err := Open(Config{Stations: 3, T: 2, Core: model.NewSet(0)}); err == nil {
+		t.Error("undersized core accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PermanentOrders.String() != "permanent-orders" || TemporaryOrders.String() != "temporary-orders" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy renders empty")
+	}
+}
+
+func TestPublishAndLatest(t *testing.T) {
+	for _, policy := range []Policy{PermanentOrders, TemporaryOrders} {
+		t.Run(policy.String(), func(t *testing.T) {
+			f := open(t, policy, 5, 2)
+			for i := 1; i <= 10; i++ {
+				img := []byte(fmt.Sprintf("image-%d", i))
+				seq, err := f.Publish(model.ProcessorID(i%5), img)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != i {
+					t.Fatalf("publish %d returned seq %d", i, seq)
+				}
+				for _, reader := range []model.ProcessorID{0, 3, 4} {
+					got, gotSeq, err := f.Latest(reader)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotSeq != i || !bytes.Equal(got, img) {
+						t.Fatalf("station %d read seq %d %q, want %d %q", reader, gotSeq, got, i, img)
+					}
+				}
+			}
+			if f.Published() != 10 {
+				t.Errorf("published = %d", f.Published())
+			}
+		})
+	}
+}
+
+func TestReliabilityThreshold(t *testing.T) {
+	// After every publish, at least T stations hold the latest object.
+	f := open(t, TemporaryOrders, 6, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		if _, err := f.Publish(model.ProcessorID(rng.Intn(6)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if h := f.Holders(); h.Size() < 3 {
+			t.Fatalf("publish %d: only %v hold the latest object", i, h)
+		}
+	}
+}
+
+func TestTemporaryOrdersMakeRepeatReadsLocal(t *testing.T) {
+	perm := open(t, PermanentOrders, 6, 2)
+	temp := open(t, TemporaryOrders, 6, 2)
+	m := cost.SC(0.3, 2.0)
+
+	drive := func(f *Feed) float64 {
+		if _, err := f.Publish(0, []byte("obj")); err != nil {
+			t.Fatal(err)
+		}
+		// Station 5 reads the same object 8 times.
+		for i := 0; i < 8; i++ {
+			if _, _, err := f.Latest(5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Cost(m)
+	}
+	pc, tc := drive(perm), drive(temp)
+	if tc >= pc {
+		t.Errorf("temporary orders (%g) should beat permanent orders (%g) on repeat reads", tc, pc)
+	}
+	// And the reader holds a copy only under temporary orders.
+	if perm.Holders().Contains(5) {
+		t.Error("permanent-orders reader took a copy")
+	}
+	if !temp.Holders().Contains(5) {
+		t.Error("temporary-orders reader did not take a copy")
+	}
+}
+
+func TestNextPublishInvalidatesTemporaryOrders(t *testing.T) {
+	f := open(t, TemporaryOrders, 5, 2)
+	if _, err := f.Publish(0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Latest(4); err != nil { // 4 takes a temporary order
+		t.Fatal(err)
+	}
+	if !f.Holders().Contains(4) {
+		t.Fatal("temporary order not taken")
+	}
+	if _, err := f.Publish(2, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Holders().Contains(4) {
+		t.Error("temporary order survived the next object")
+	}
+	// 4's next read fetches the new object, never a stale one.
+	got, seq, err := f.Latest(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 || string(got) != "second" {
+		t.Errorf("stale read: seq %d %q", seq, got)
+	}
+}
+
+func TestCustomCore(t *testing.T) {
+	f, err := Open(Config{Stations: 6, T: 2, Policy: TemporaryOrders, Core: model.NewSet(3, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Publish(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	h := f.Holders()
+	if !h.Contains(3) {
+		t.Errorf("core station 3 lost the latest object: %v", h)
+	}
+}

@@ -1,0 +1,409 @@
+// Package ha implements the failure-handling story of §2: the system runs
+// the DA algorithm in normal mode, and "handles failures by resorting to
+// quorum consensus with static allocation when a processor of the set F
+// fails. The transition occurs using the missing writes algorithm."
+//
+// Cluster owns the processors' local databases and runs one protocol
+// engine at a time over them:
+//
+//   - normal mode: a sim.Cluster executing DA (join-lists, invalidations);
+//   - degraded mode: a quorum.Cluster executing majority voting over the
+//     same local databases, entered when a member of F ∪ {p} crashes.
+//
+// On failover the surviving replicas are handed to the quorum engine as-is;
+// the quorum intersection property guarantees reads keep returning the
+// latest version even though some replicas are stale or missing. On
+// failback (every member of F ∪ {p} alive again) the missing-writes
+// catch-up runs: each member of F ∪ {p} recovers the latest version through
+// a quorum read, stragglers outside the scheme drop their stale copies, and
+// the DA engine resumes with the restored allocation scheme F ∪ {p}.
+//
+// Message and I/O accounting is continuous across mode switches, so the
+// failover experiment (E13) can price an entire crash-recover lifetime in
+// the paper's cost model.
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/netsim"
+	"objalloc/internal/quorum"
+	"objalloc/internal/sim"
+	"objalloc/internal/storage"
+)
+
+// Mode is the protocol currently serving requests.
+type Mode int
+
+const (
+	// ModeDA is normal operation under dynamic allocation.
+	ModeDA Mode = iota
+	// ModeQuorum is degraded operation under majority quorum consensus.
+	ModeQuorum
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDA:
+		return "DA"
+	case ModeQuorum:
+		return "quorum"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes a highly-available cluster.
+type Config struct {
+	// N is the number of processors, T the availability threshold.
+	N, T int
+	// Initial is the initial allocation scheme (F = T-1 smallest members,
+	// p the next), as in sim.Config.
+	Initial model.Set
+	// NewStore optionally overrides the per-processor local database.
+	NewStore func(id model.ProcessorID) (storage.Store, error)
+}
+
+// Cluster is the mode-switching engine.
+type Cluster struct {
+	mu sync.Mutex
+
+	cfg    Config
+	core   model.Set
+	anchor model.ProcessorID
+	stores []storage.Store
+
+	mode      Mode
+	da        *sim.Cluster
+	q         *quorum.Cluster
+	crashed   model.Set
+	latestSeq uint64
+	// baseNet accumulates message counts from engines that have been torn
+	// down at mode switches.
+	baseNet cost.Counts
+
+	closed bool
+}
+
+// New builds the cluster in DA mode.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.T < 2 {
+		return nil, fmt.Errorf("ha: T must be at least 2, got %d", cfg.T)
+	}
+	if cfg.Initial.Size() < cfg.T || !cfg.Initial.SubsetOf(model.FullSet(cfg.N)) {
+		return nil, fmt.Errorf("ha: bad initial scheme %v for N=%d, T=%d", cfg.Initial, cfg.N, cfg.T)
+	}
+	newStore := cfg.NewStore
+	if newStore == nil {
+		newStore = func(model.ProcessorID) (storage.Store, error) { return storage.NewMem(), nil }
+	}
+	h := &Cluster{cfg: cfg, latestSeq: 1}
+	for k := 0; k < cfg.T-1; k++ {
+		h.core = h.core.Add(cfg.Initial.Member(k))
+	}
+	h.anchor = cfg.Initial.Member(cfg.T - 1)
+	for i := 0; i < cfg.N; i++ {
+		st, err := newStore(model.ProcessorID(i))
+		if err != nil {
+			return nil, fmt.Errorf("ha: store for %d: %w", i, err)
+		}
+		h.stores = append(h.stores, st)
+	}
+	da, err := sim.New(sim.Config{
+		N: cfg.N, T: cfg.T, Protocol: sim.DA, Initial: cfg.Initial,
+		NewStore: h.adopt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.da = da
+	return h, nil
+}
+
+func (h *Cluster) adopt(id model.ProcessorID) (storage.Store, error) {
+	return h.stores[id], nil
+}
+
+// Mode returns the protocol currently in charge.
+func (h *Cluster) Mode() Mode {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mode
+}
+
+// Crashed returns the set of processors currently down.
+func (h *Cluster) Crashed() model.Set {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashed
+}
+
+// errNodeDown is returned when a request is issued at a crashed processor.
+var errNodeDown = errors.New("ha: issuing processor is down")
+
+// Read services a read request issued at processor p under the current
+// mode.
+func (h *Cluster) Read(p model.ProcessorID) (storage.Version, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return storage.Version{}, errors.New("ha: cluster closed")
+	}
+	if h.crashed.Contains(p) {
+		h.mu.Unlock()
+		return storage.Version{}, errNodeDown
+	}
+	mode, da, q := h.mode, h.da, h.q
+	h.mu.Unlock()
+	if mode == ModeDA {
+		return da.Read(p)
+	}
+	return q.Read(p)
+}
+
+// Write services a write request issued at processor p under the current
+// mode.
+func (h *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return storage.Version{}, errors.New("ha: cluster closed")
+	}
+	if h.crashed.Contains(p) {
+		h.mu.Unlock()
+		return storage.Version{}, errNodeDown
+	}
+	mode, da, q := h.mode, h.da, h.q
+	h.mu.Unlock()
+
+	var v storage.Version
+	var err error
+	if mode == ModeDA {
+		v, err = da.Write(p, data)
+	} else {
+		v, err = q.Write(p, data)
+	}
+	if err == nil {
+		h.mu.Lock()
+		if v.Seq > h.latestSeq {
+			h.latestSeq = v.Seq
+		}
+		h.mu.Unlock()
+	}
+	return v, err
+}
+
+// Crash takes processor id down. If the processor is essential to DA (a
+// member of F ∪ {p}) and the cluster is in DA mode, the cluster fails over
+// to quorum consensus over the surviving replicas.
+func (h *Cluster) Crash(id model.ProcessorID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.crashed.Contains(id) {
+		return nil
+	}
+	h.crashed = h.crashed.Add(id)
+	essential := h.core.Contains(id) || id == h.anchor
+	switch {
+	case h.mode == ModeDA && essential:
+		return h.failoverLocked()
+	case h.mode == ModeDA:
+		// DA tolerates non-essential crashes: the node simply stops
+		// answering; invalidations to it are dropped by the network.
+		h.da.Network().Crash(id)
+		return nil
+	default:
+		h.q.Crash(id)
+		return nil
+	}
+}
+
+// failoverLocked tears the DA engine down and starts the quorum engine over
+// the same local databases, then runs the transition step of the
+// missing-writes algorithm: DA keeps as few as t copies, which is fewer
+// than a majority, so the latest surviving version is replicated onto a
+// full write quorum of live processors. Without this step a quorum read
+// (or a write's version-number vote) could miss every holder and regress.
+func (h *Cluster) failoverLocked() error {
+	h.accumulate(h.da.Network().Stats())
+	h.da.Close()
+	h.da = nil
+	q, err := quorum.New(quorum.Config{N: h.cfg.N, NewStore: h.adopt})
+	if err != nil {
+		return fmt.Errorf("ha: failover: %w", err)
+	}
+	h.crashed.ForEach(func(id model.ProcessorID) { q.Crash(id) })
+
+	// Locate the newest surviving copy among live processors.
+	var latest storage.Version
+	holder := model.ProcessorID(-1)
+	live := model.FullSet(h.cfg.N).Diff(h.crashed)
+	live.ForEach(func(id model.ProcessorID) {
+		if v, ok := h.stores[id].Peek(); ok && v.Seq > latest.Seq {
+			latest, holder = v, id
+		}
+	})
+	if holder >= 0 {
+		// Push it to live non-holders until a write quorum holds it. The
+		// pushes ride billed data messages through the quorum engine's
+		// install path.
+		needed := h.cfg.N/2 + 1
+		have := 0
+		live.ForEach(func(id model.ProcessorID) {
+			if v, ok := h.stores[id].Peek(); ok && v.Seq == latest.Seq {
+				have++
+			}
+		})
+		live.ForEach(func(id model.ProcessorID) {
+			if have >= needed {
+				return
+			}
+			if v, ok := h.stores[id].Peek(); ok && v.Seq == latest.Seq {
+				return
+			}
+			q.Network().Send(netsim.Message{From: holder, To: id, Type: netsim.TWritePush, Seq: latest.Seq, Version: latest})
+			have++
+		})
+		q.Quiesce()
+	}
+
+	h.q = q
+	h.mode = ModeQuorum
+	return nil
+}
+
+// Restart brings processor id back up. In quorum mode its replica is caught
+// up with the missing-writes recovery; when every member of F ∪ {p} is
+// alive again the cluster fails back to DA.
+func (h *Cluster) Restart(id model.ProcessorID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.crashed.Contains(id) {
+		return nil
+	}
+	h.crashed = h.crashed.Remove(id)
+	if h.mode == ModeDA {
+		// A recovering non-essential processor may hold a copy whose
+		// invalidation was lost while it was down; it must not serve
+		// local reads from it. Discard the copy — the node rejoins the
+		// allocation scheme through a saving-read, as any non-data
+		// processor does.
+		if err := h.stores[id].Invalidate(); err != nil {
+			return fmt.Errorf("ha: restart %d: %w", id, err)
+		}
+		h.da.Network().Restart(id)
+		return nil
+	}
+	h.q.Restart(id)
+	if _, err := h.q.Recover(id); err != nil && !errors.Is(err, storage.ErrNoObject) {
+		return fmt.Errorf("ha: recover %d: %w", id, err)
+	}
+	if !h.crashed.Intersects(h.core.Add(h.anchor)) {
+		return h.failbackLocked()
+	}
+	return nil
+}
+
+// failbackLocked restores DA mode: every member of F ∪ {p} catches up to
+// the latest version (missing-writes), every other replica is dropped (only
+// scheme members may answer reads locally under DA), and a DA engine adopts
+// the stores.
+func (h *Cluster) failbackLocked() error {
+	scheme := h.core.Add(h.anchor)
+	for id := model.ProcessorID(0); int(id) < h.cfg.N; id++ {
+		if scheme.Contains(id) {
+			if _, err := h.q.Recover(id); err != nil && !errors.Is(err, storage.ErrNoObject) {
+				return fmt.Errorf("ha: failback catch-up %d: %w", id, err)
+			}
+		}
+	}
+	latest := h.q.LatestSeq()
+	h.accumulate(h.q.Network().Stats())
+	h.q.Close()
+	h.q = nil
+	for id := model.ProcessorID(0); int(id) < h.cfg.N; id++ {
+		if !scheme.Contains(id) {
+			if err := h.stores[id].Invalidate(); err != nil {
+				return fmt.Errorf("ha: failback invalidate %d: %w", id, err)
+			}
+		}
+	}
+	da, err := sim.New(sim.Config{
+		N: h.cfg.N, T: h.cfg.T, Protocol: sim.DA, Initial: scheme,
+		NewStore: h.adopt, AdoptStores: true, FirstSeq: latest,
+	})
+	if err != nil {
+		return fmt.Errorf("ha: failback: %w", err)
+	}
+	// Non-essential processors still down stay down in the new engine.
+	h.crashed.ForEach(func(id model.ProcessorID) { da.Network().Crash(id) })
+	h.da = da
+	h.mode = ModeDA
+	if latest > h.latestSeq {
+		h.latestSeq = latest
+	}
+	return nil
+}
+
+// accumulate folds a torn-down engine's network counters into the running
+// total before the engine is closed.
+func (h *Cluster) accumulate(st netsim.Stats) {
+	h.baseNet.Control += st.ControlSent
+	h.baseNet.Data += st.DataSent
+}
+
+// Counts returns the cumulative message and I/O accounting across all
+// modes since the cluster started.
+func (h *Cluster) Counts() cost.Counts {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts := h.baseNet
+	if h.da != nil {
+		st := h.da.Network().Stats()
+		counts.Control += st.ControlSent
+		counts.Data += st.DataSent
+	}
+	if h.q != nil {
+		st := h.q.Network().Stats()
+		counts.Control += st.ControlSent
+		counts.Data += st.DataSent
+	}
+	for _, s := range h.stores {
+		counts.IO += s.Stats().Total()
+	}
+	return counts
+}
+
+// Cost prices the cumulative accounting.
+func (h *Cluster) Cost(m cost.Model) float64 { return h.Counts().Price(m) }
+
+// LatestSeq returns the highest committed version number.
+func (h *Cluster) LatestSeq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.latestSeq
+}
+
+// Close tears down whichever engine is running.
+func (h *Cluster) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if h.da != nil {
+		h.da.Close()
+	}
+	if h.q != nil {
+		h.q.Close()
+	}
+	for _, s := range h.stores {
+		s.Close()
+	}
+}

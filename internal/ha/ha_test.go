@@ -1,0 +1,351 @@
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/model"
+)
+
+func newHA(t *testing.T, n, tAvail int) *Cluster {
+	t.Helper()
+	h, err := New(Config{N: n, T: tAvail, Initial: model.FullSet(tAvail)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 5, T: 1, Initial: model.NewSet(0)}); err == nil {
+		t.Error("T = 1 accepted")
+	}
+	if _, err := New(Config{N: 5, T: 3, Initial: model.NewSet(0, 1)}); err == nil {
+		t.Error("initial below T accepted")
+	}
+	if _, err := New(Config{N: 2, T: 2, Initial: model.NewSet(0, 5)}); err == nil {
+		t.Error("initial outside processors accepted")
+	}
+}
+
+func TestStartsInDAMode(t *testing.T) {
+	h := newHA(t, 5, 2)
+	if h.Mode() != ModeDA {
+		t.Errorf("mode = %v", h.Mode())
+	}
+	if ModeDA.String() != "DA" || ModeQuorum.String() != "quorum" || Mode(9).String() == "" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestNormalOperationMatchesDA(t *testing.T) {
+	h := newHA(t, 5, 2)
+	v, err := h.Write(3, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Read(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != v.Seq {
+		t.Errorf("read seq %d, want %d", got.Seq, v.Seq)
+	}
+	if h.Mode() != ModeDA {
+		t.Error("mode changed without failure")
+	}
+}
+
+func TestNonEssentialCrashKeepsDAMode(t *testing.T) {
+	h := newHA(t, 6, 2) // F = {0}, p = 1
+	if err := h.Crash(4); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeDA {
+		t.Errorf("mode = %v after non-essential crash", h.Mode())
+	}
+	if _, err := h.Write(2, []byte("still-da")); err != nil {
+		t.Fatalf("write after non-essential crash: %v", err)
+	}
+	if _, err := h.Read(4); !errors.Is(err, errNodeDown) {
+		t.Errorf("read at crashed node: %v", err)
+	}
+	if h.Crashed() != model.NewSet(4) {
+		t.Errorf("crashed = %v", h.Crashed())
+	}
+}
+
+func TestFCrashTriggersQuorumFailover(t *testing.T) {
+	h := newHA(t, 5, 2) // F = {0}, p = 1
+	if _, err := h.Write(2, []byte("pre-crash")); err != nil {
+		t.Fatal(err)
+	}
+	preSeq := h.LatestSeq()
+
+	if err := h.Crash(0); err != nil { // F member down
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeQuorum {
+		t.Fatalf("mode = %v, want quorum", h.Mode())
+	}
+	// The object survives: reads go through quorum and find the latest
+	// version even though F's copy is unreachable.
+	got, err := h.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != preSeq {
+		t.Errorf("post-failover read seq %d, want %d", got.Seq, preSeq)
+	}
+	// Writes continue.
+	v, err := h.Write(4, []byte("during-outage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq <= preSeq {
+		t.Errorf("write seq %d did not advance past %d", v.Seq, preSeq)
+	}
+}
+
+func TestAnchorCrashTriggersFailover(t *testing.T) {
+	h := newHA(t, 5, 2) // p = 1
+	if err := h.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeQuorum {
+		t.Errorf("mode = %v after anchor crash", h.Mode())
+	}
+}
+
+func TestFailbackAfterRecovery(t *testing.T) {
+	h := newHA(t, 5, 2)
+	if _, err := h.Write(2, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	// Progress during the outage: F's replica misses these writes.
+	for i := 0; i < 3; i++ {
+		if _, err := h.Write(3, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest := h.LatestSeq()
+
+	if err := h.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeDA {
+		t.Fatalf("mode = %v after full recovery, want DA", h.Mode())
+	}
+	// The recovered F member caught up on the missed writes and serves
+	// the latest version again.
+	got, err := h.Read(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != latest {
+		t.Errorf("post-failback read seq %d, want %d", got.Seq, latest)
+	}
+	// DA semantics continue: new writes propagate and invalidate.
+	v, err := h.Write(2, []byte("post-failback"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = h.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != v.Seq {
+		t.Errorf("read after failback write: seq %d, want %d", got.Seq, v.Seq)
+	}
+}
+
+func TestNoFailbackWhileEssentialStillDown(t *testing.T) {
+	h := newHA(t, 6, 3) // F = {0,1}, p = 2
+	if err := h.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeQuorum {
+		t.Fatal("expected quorum mode")
+	}
+	if err := h.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeQuorum {
+		t.Error("failed back while an F member is still down")
+	}
+	if err := h.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode() != ModeDA {
+		t.Error("did not fail back once F ∪ {p} fully recovered")
+	}
+}
+
+func TestCountsAccumulateAcrossModes(t *testing.T) {
+	h := newHA(t, 5, 2)
+	if _, err := h.Write(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	before := h.Counts()
+	if before.IO == 0 || before.Data == 0 {
+		t.Fatalf("pre-crash counts empty: %v", before)
+	}
+	if err := h.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write(3, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	mid := h.Counts()
+	if mid.Control <= before.Control || mid.IO <= before.IO {
+		t.Errorf("counts did not grow across failover: %v -> %v", before, mid)
+	}
+	if err := h.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	after := h.Counts()
+	if after.Control < mid.Control || after.IO < mid.IO {
+		t.Errorf("counts regressed across failback: %v -> %v", mid, after)
+	}
+}
+
+// A whole crash-recover lifetime with randomized operations: every read
+// must return the latest committed version, in whichever mode.
+func TestLifetimeLinearizability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newHA(t, 6, 2)
+	latest := uint64(1)
+	crashedAt := -1
+	for i := 0; i < 300; i++ {
+		switch {
+		case i == 100:
+			if err := h.Crash(0); err != nil {
+				t.Fatal(err)
+			}
+			crashedAt = 0
+		case i == 200:
+			if err := h.Restart(model.ProcessorID(crashedAt)); err != nil {
+				t.Fatal(err)
+			}
+			crashedAt = -1
+		}
+		p := model.ProcessorID(rng.Intn(6))
+		if crashedAt >= 0 && p == model.ProcessorID(crashedAt) {
+			continue
+		}
+		if rng.Float64() < 0.3 {
+			v, err := h.Write(p, []byte{byte(i)})
+			if err != nil {
+				t.Fatalf("op %d write: %v", i, err)
+			}
+			latest = v.Seq
+		} else {
+			v, err := h.Read(p)
+			if err != nil {
+				t.Fatalf("op %d read at %d (mode %v): %v", i, p, h.Mode(), err)
+			}
+			if v.Seq != latest {
+				t.Fatalf("op %d: read seq %d, latest %d (mode %v)", i, v.Seq, latest, h.Mode())
+			}
+		}
+	}
+}
+
+func TestDoubleCrashAndRestartIdempotent(t *testing.T) {
+	h := newHA(t, 5, 2)
+	if err := h.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Restart(3); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Crashed().IsEmpty() {
+		t.Errorf("crashed = %v", h.Crashed())
+	}
+}
+
+func TestOperationsAfterClose(t *testing.T) {
+	h, err := New(Config{N: 4, T: 2, Initial: model.NewSet(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if _, err := h.Read(0); err == nil {
+		t.Error("read after close accepted")
+	}
+	if _, err := h.Write(0, nil); err == nil {
+		t.Error("write after close accepted")
+	}
+	h.Close() // idempotent
+}
+
+// Randomized fault injection: arbitrary crash/restart sequences interleaved
+// with reads and writes. Invariant: every read served by a live processor
+// returns the latest committed version, in whichever mode the cluster is;
+// operations may fail only with the documented unavailability errors.
+func TestRandomizedFaultInjection(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const n = 6
+			h := newHA(t, n, 2)
+			latest := uint64(1)
+			for op := 0; op < 250; op++ {
+				switch {
+				case rng.Float64() < 0.04: // crash someone alive
+					alive := model.FullSet(n).Diff(h.Crashed())
+					// Keep a majority alive so quorum mode stays available.
+					if alive.Size() > n/2+1 {
+						victim := alive.Member(rng.Intn(alive.Size()))
+						if err := h.Crash(victim); err != nil {
+							t.Fatalf("op %d crash %d: %v", op, victim, err)
+						}
+					}
+				case rng.Float64() < 0.08: // restart someone crashed
+					crashed := h.Crashed()
+					if !crashed.IsEmpty() {
+						back := crashed.Member(rng.Intn(crashed.Size()))
+						if err := h.Restart(back); err != nil {
+							t.Fatalf("op %d restart %d: %v", op, back, err)
+						}
+					}
+				}
+				p := model.ProcessorID(rng.Intn(n))
+				if h.Crashed().Contains(p) {
+					continue
+				}
+				if rng.Float64() < 0.3 {
+					v, err := h.Write(p, []byte{byte(op)})
+					if err != nil {
+						t.Fatalf("op %d write at %d (mode %v, crashed %v): %v", op, p, h.Mode(), h.Crashed(), err)
+					}
+					latest = v.Seq
+				} else {
+					v, err := h.Read(p)
+					if err != nil {
+						t.Fatalf("op %d read at %d (mode %v, crashed %v): %v", op, p, h.Mode(), h.Crashed(), err)
+					}
+					if v.Seq != latest {
+						t.Fatalf("op %d: read seq %d, latest %d (mode %v, crashed %v)", op, v.Seq, latest, h.Mode(), h.Crashed())
+					}
+				}
+			}
+		})
+	}
+}

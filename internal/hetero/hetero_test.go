@@ -1,0 +1,262 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/workload"
+)
+
+const eps = 1e-9
+
+func TestValidate(t *testing.T) {
+	if err := Uniform(4, cost.SC(0.3, 1.2)).Validate(); err != nil {
+		t.Errorf("uniform model invalid: %v", err)
+	}
+	bad := Uniform(3, cost.SC(0.3, 1.2))
+	bad.Control[0][1] = 5 // control > data on a link
+	if err := bad.Validate(); err == nil {
+		t.Error("control > data accepted")
+	}
+	diag := Uniform(3, cost.SC(0.3, 1.2))
+	diag.Data[1][1] = 1
+	if err := diag.Validate(); err == nil {
+		t.Error("non-zero local price accepted")
+	}
+	neg := Uniform(3, cost.SC(0.3, 1.2))
+	neg.IO[2] = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative IO accepted")
+	}
+	if err := (Model{}).Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+	short := Uniform(3, cost.SC(0.3, 1.2))
+	short.Control[1] = short.Control[1][:2]
+	if err := short.Validate(); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+// The homogeneous embedding must reproduce package cost exactly, step by
+// step, across random steps — the consistency anchor for the extension.
+func TestUniformDegeneratesToHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 7
+	models := []cost.Model{cost.SC(0.3, 1.2), cost.MC(0.4, 1.0), cost.SC(0, 0)}
+	for iter := 0; iter < 3000; iter++ {
+		hm := models[rng.Intn(len(models))]
+		h := Uniform(n, hm)
+		scheme := randomNonEmpty(rng, n)
+		exec := randomNonEmpty(rng, n)
+		p := model.ProcessorID(rng.Intn(n))
+		var st model.Step
+		switch rng.Intn(3) {
+		case 0:
+			st = model.Step{Request: model.R(p), Exec: exec}
+		case 1:
+			st = model.Step{Request: model.R(p), Exec: exec, Saving: true}
+		default:
+			st = model.Step{Request: model.W(p), Exec: exec}
+		}
+		got := h.StepCost(st, scheme)
+		want := cost.StepCost(hm, st, scheme)
+		if math.Abs(got-want) > eps {
+			t.Fatalf("iter %d: hetero %g != homogeneous %g for %v scheme %v model %v",
+				iter, got, want, st, scheme, hm)
+		}
+	}
+}
+
+func randomNonEmpty(rng *rand.Rand, n int) model.Set {
+	for {
+		var s model.Set
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s = s.Add(model.ProcessorID(i))
+			}
+		}
+		if !s.IsEmpty() {
+			return s
+		}
+	}
+}
+
+func TestScheduleCostMatchesHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hm := cost.SC(0.25, 1.5)
+	h := Uniform(6, hm)
+	initial := model.NewSet(0, 1)
+	for iter := 0; iter < 50; iter++ {
+		sched := workload.Uniform(rng, 6, 40, 0.3)
+		las, err := dom.RunFactory(dom.DynamicFactory, initial, 2, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := h.ScheduleCost(las, initial)
+		want := cost.ScheduleCost(hm, las, initial)
+		if math.Abs(got-want) > eps {
+			t.Fatalf("iter %d: %g != %g", iter, got, want)
+		}
+	}
+}
+
+func TestClusteredTopology(t *testing.T) {
+	// 6 processors, two clusters {0,1,2} and {3,4,5}; WAN messages 10x.
+	m := Clustered(6, 3, 0.1, 0.5, 1.0, 5.0, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Control[0][1] != 0.1 || m.Data[0][2] != 0.5 {
+		t.Error("intra prices wrong")
+	}
+	if m.Control[0][3] != 1.0 || m.Data[4][1] != 5.0 {
+		t.Error("inter prices wrong")
+	}
+	if m.Control[3][3] != 0 {
+		t.Error("diagonal not zero")
+	}
+}
+
+func TestServerForPrefersNearReplica(t *testing.T) {
+	m := Clustered(6, 3, 0.1, 0.5, 1.0, 5.0, 1)
+	// Reader 4 (cluster B), candidates {0, 5}: 5 is in the same cluster
+	// and must win despite 0 being the smallest id.
+	if got := m.ServerFor(4, model.NewSet(0, 5)); got != 5 {
+		t.Errorf("ServerFor = %d, want 5", got)
+	}
+	// Reader 1 (cluster A) prefers 0.
+	if got := m.ServerFor(1, model.NewSet(0, 5)); got != 0 {
+		t.Errorf("ServerFor = %d, want 0", got)
+	}
+}
+
+// Under a clustered topology with readers in the remote cluster, DA's
+// migration of replicas into the readers' cluster beats SA's fixed
+// placement by more than it does under homogeneous costs — replication
+// locality matters more when distance is priced.
+func TestDAAdvantageGrowsWithClustering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	initial := model.NewSet(0, 1) // both replicas in cluster A
+	// Readers overwhelmingly in cluster B, writes from cluster A.
+	sched := workload.Hotspot(rng, 6, 400, 0.1, model.NewSet(3, 4, 5), 0.9)
+
+	flat := Uniform(6, cost.SC(0.2, 1.0))
+	wan := Clustered(6, 3, 0.05, 0.25, 0.8, 4.0, 1)
+
+	advantage := func(m Model) float64 {
+		saCost, _, err := m.EvaluateFactory(dom.StaticFactory, initial, 2, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		daCost, _, err := m.EvaluateFactory(dom.DynamicFactory, initial, 2, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return saCost / daCost
+	}
+	flatAdv := advantage(flat)
+	wanAdv := advantage(wan)
+	if flatAdv <= 1 {
+		t.Errorf("DA should beat SA on a read-heavy remote workload even flat: %g", flatAdv)
+	}
+	if wanAdv <= flatAdv {
+		t.Errorf("clustering should amplify DA's advantage: flat %.3f vs wan %.3f", flatAdv, wanAdv)
+	}
+}
+
+func TestEvaluateFactoryValidates(t *testing.T) {
+	m := Uniform(4, cost.SC(0.3, 1.2))
+	if _, _, err := m.EvaluateFactory(dom.StaticFactory, model.NewSet(0), 2, nil); err == nil {
+		t.Error("invalid initial scheme accepted")
+	}
+}
+
+func TestCheapestControlFromEmptySet(t *testing.T) {
+	m := Uniform(3, cost.SC(0.3, 1.2))
+	if got := m.cheapestControlFrom(model.EmptySet, 1); got != 0 {
+		t.Errorf("empty senders = %g", got)
+	}
+}
+
+func TestAwareDynamicMatchesPlainDAUnderUniformPrices(t *testing.T) {
+	m := Uniform(6, cost.SC(0.3, 1.2))
+	rng := rand.New(rand.NewSource(8))
+	sched := workload.Uniform(rng, 6, 150, 0.3)
+	initial := model.NewSet(0, 1, 2) // t = 3: F = {0,1}
+	aware, err := dom.RunFactory(AwareDynamicFactory(m), initial, 3, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := dom.RunFactory(dom.DynamicFactory, initial, 3, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With uniform prices ServerFor picks the smallest id, exactly like
+	// MinPicker, so the allocation schedules are identical step for step.
+	for i := range aware {
+		if aware[i] != plain[i] {
+			t.Fatalf("step %d: aware %v vs plain %v", i, aware[i], plain[i])
+		}
+	}
+}
+
+func TestAwareDynamicBeatsPlainOnClusteredTopology(t *testing.T) {
+	m := Clustered(6, 3, 0.05, 0.25, 0.8, 4.0, 1)
+	rng := rand.New(rand.NewSource(9))
+	// Readers concentrated in cluster B; the core F = {0, 3} spans both
+	// clusters (initial members are taken in sorted order, so {0,3,5}
+	// yields F = {0,3} with designated processor 5). The aware variant
+	// serves B's readers from 3, the min-picker always from 0 across the
+	// WAN.
+	sched := workload.Hotspot(rng, 6, 300, 0.05, model.NewSet(4, 5), 0.9)
+	initial := model.NewSet(0, 3, 5)
+	awareCost, _, err := m.EvaluateFactory(AwareDynamicFactory(m), initial, 3, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCost, _, err := m.EvaluateFactory(dom.DynamicFactory, initial, 3, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awareCost >= plainCost {
+		t.Errorf("topology-aware DA (%g) did not beat min-picker DA (%g)", awareCost, plainCost)
+	}
+}
+
+func TestAwareDynamicValidation(t *testing.T) {
+	m := Uniform(4, cost.SC(0.3, 1.2))
+	if _, err := NewAwareDynamic(m, model.NewSet(0), 2); err == nil {
+		t.Error("initial below t accepted")
+	}
+	if _, err := NewAwareDynamic(m, model.NewSet(0, 1), 1); err == nil {
+		t.Error("t = 1 accepted")
+	}
+	a, err := NewAwareDynamic(m, model.NewSet(0, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "DA-aware" {
+		t.Errorf("name = %q", a.Name())
+	}
+}
+
+func TestAwareDynamicProducesLegalSchedules(t *testing.T) {
+	m := Clustered(6, 3, 0.05, 0.25, 0.8, 4.0, 1)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		sched := workload.Uniform(rng, 6, 60, rng.Float64())
+		initial := model.NewSet(0, 1)
+		las, err := dom.RunFactory(AwareDynamicFactory(m), initial, 2, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := las.Validate(initial, 2); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

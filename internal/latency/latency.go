@@ -1,0 +1,468 @@
+// Package latency turns an allocation schedule into response times. The
+// paper's cost model counts charges; its *motivation* (§1.2) is about what
+// those charges do to latency: "a higher communication cost implies a
+// higher load on the network, which, in turn, implies a higher probability
+// of contention on the communication bus, and a higher response time; a
+// higher I/O cost also negatively affects the response time." This package
+// makes that argument executable.
+//
+// It is a discrete-event simulator over two resource kinds:
+//
+//   - each processor's disk: a FIFO single server with a fixed service
+//     time per object input/output;
+//   - the network: either a shared bus (one message at a time — the
+//     ethernet of §1.2, where load creates contention) or point-to-point
+//     links (no contention, only per-message transmission + propagation).
+//
+// Each request of an allocation schedule is decomposed into the protocol's
+// stages (request message, server disk read, data transfer, local save;
+// write propagation fan-out; invalidation fan-out) and pushed through the
+// resources; the simulator reports per-request response times and resource
+// utilization. Requests arrive on an open-loop schedule, so raising the
+// arrival rate exhibits exactly the congestion knee the paper gestures at —
+// and the algorithm with the lower §3 cost (fewer messages, fewer I/Os)
+// saturates later.
+package latency
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"objalloc/internal/model"
+	"objalloc/internal/stats"
+)
+
+// Profile describes the physical costs of one deployment.
+type Profile struct {
+	// ControlTime and DataTime are the transmission (bus occupancy) times
+	// of control and data messages.
+	ControlTime, DataTime float64
+	// PropDelay is the propagation latency added to every message after
+	// transmission; it does not occupy the bus.
+	PropDelay float64
+	// DiskTime is the service time of one object input/output.
+	DiskTime float64
+	// SharedBus selects the contended broadcast medium; false means
+	// point-to-point links with no queueing.
+	SharedBus bool
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.ControlTime < 0 || p.DataTime < 0 || p.PropDelay < 0 || p.DiskTime < 0 {
+		return fmt.Errorf("latency: negative time in profile %+v", p)
+	}
+	if p.ControlTime > p.DataTime {
+		return fmt.Errorf("latency: control transmission (%g) longer than data (%g)", p.ControlTime, p.DataTime)
+	}
+	return nil
+}
+
+// Result is the outcome of simulating one allocation schedule.
+type Result struct {
+	// Response[i] is the response time of request i (completion −
+	// arrival).
+	Response []float64
+	// Summary are descriptive statistics of Response.
+	Summary stats.Summary
+	// Makespan is the completion time of the last event.
+	Makespan float64
+	// BusBusy is the total bus occupancy (0 for point-to-point); divide
+	// by Makespan for utilization.
+	BusBusy float64
+	// DiskBusy[i] is processor i's total disk occupancy.
+	DiskBusy []float64
+}
+
+// BusUtilization returns BusBusy / Makespan (0 when idle or p2p).
+func (r *Result) BusUtilization() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.BusBusy / r.Makespan
+}
+
+// UniformArrivals returns n arrivals spaced 1/rate apart, starting at 0 —
+// an open-loop load of the given rate.
+func UniformArrivals(n int, rate float64) []float64 {
+	if rate <= 0 {
+		panic("latency: rate must be positive")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) / rate
+	}
+	return out
+}
+
+// event is one schedulable stage of one request.
+type event struct {
+	at  float64
+	seq int // tie-break for determinism
+	run func(now float64)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// engine is the DES core.
+type engine struct {
+	p        Profile
+	queue    eventQueue
+	seq      int
+	diskFree []float64
+	diskBusy []float64
+	busFree  float64
+	busBusy  float64
+	makespan float64
+}
+
+func (e *engine) schedule(at float64, run func(now float64)) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, run: run})
+}
+
+func (e *engine) runAll() {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at > e.makespan {
+			e.makespan = ev.at
+		}
+		ev.run(ev.at)
+	}
+}
+
+// disk grants processor id's disk from now, returning the completion time.
+func (e *engine) disk(now float64, id model.ProcessorID) float64 {
+	start := now
+	if e.diskFree[id] > start {
+		start = e.diskFree[id]
+	}
+	done := start + e.p.DiskTime
+	e.diskFree[id] = done
+	e.diskBusy[id] += e.p.DiskTime
+	if done > e.makespan {
+		e.makespan = done
+	}
+	return done
+}
+
+// transmit sends one message from now, returning its delivery time.
+func (e *engine) transmit(now float64, control bool) float64 {
+	tx := e.p.DataTime
+	if control {
+		tx = e.p.ControlTime
+	}
+	var done float64
+	if e.p.SharedBus {
+		start := now
+		if e.busFree > start {
+			start = e.busFree
+		}
+		e.busFree = start + tx
+		e.busBusy += tx
+		done = start + tx + e.p.PropDelay
+	} else {
+		done = now + tx + e.p.PropDelay
+	}
+	if done > e.makespan {
+		e.makespan = done
+	}
+	return done
+}
+
+// Simulate pushes the allocation schedule through the resources. arrivals
+// must be non-decreasing and as long as the schedule; nil means all
+// requests arrive at time 0.
+func Simulate(p Profile, a model.AllocSchedule, initial model.Set, arrivals []float64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if arrivals == nil {
+		arrivals = make([]float64, len(a))
+	}
+	if len(arrivals) != len(a) {
+		return nil, fmt.Errorf("latency: %d arrivals for %d requests", len(arrivals), len(a))
+	}
+	maxProc := model.ProcessorID(0)
+	consider := func(s model.Set) {
+		s.ForEach(func(id model.ProcessorID) {
+			if id > maxProc {
+				maxProc = id
+			}
+		})
+	}
+	consider(initial)
+	for _, st := range a {
+		consider(st.Exec)
+		if st.Request.Processor > maxProc {
+			maxProc = st.Request.Processor
+		}
+	}
+	n := int(maxProc) + 1
+
+	e := &engine{
+		p:        p,
+		diskFree: make([]float64, n),
+		diskBusy: make([]float64, n),
+	}
+	res := &Result{Response: make([]float64, len(a)), DiskBusy: e.diskBusy}
+
+	scheme := initial
+	for idx, st := range a {
+		idx, st := idx, st
+		schemeAt := scheme
+		arr := arrivals[idx]
+		if idx > 0 && arrivals[idx] < arrivals[idx-1] {
+			return nil, fmt.Errorf("latency: arrivals not monotone at %d", idx)
+		}
+		if st.Exec.IsEmpty() {
+			return nil, fmt.Errorf("latency: request %d has an empty execution set", idx)
+		}
+		e.schedule(arr, func(now float64) {
+			e.serveRequest(now, st, schemeAt, func(completion float64) {
+				res.Response[idx] = completion - arr
+			})
+		})
+		scheme = model.NextScheme(scheme, st)
+	}
+	e.runAll()
+
+	res.Summary = stats.Summarize(res.Response)
+	res.Makespan = e.makespan
+	res.BusBusy = e.busBusy
+	return res, nil
+}
+
+// serveRequest decomposes one request into stages. finish is called with
+// the request's completion time once every response-blocking branch is
+// done. Invalidation messages are fire-and-forget: they occupy the bus but
+// do not delay the response.
+func (e *engine) serveRequest(now float64, st model.Step, scheme model.Set, finish func(float64)) {
+	i := st.Request.Processor
+	if st.Request.IsRead() {
+		servers := st.Exec
+		remaining := servers.Size()
+		worst := now
+		complete := func(t float64) {
+			if t > worst {
+				worst = t
+			}
+			remaining--
+			if remaining == 0 {
+				finish(worst)
+			}
+		}
+		servers.ForEach(func(s model.ProcessorID) {
+			if s == i {
+				// Local branch: one disk input.
+				complete(e.disk(now, s))
+				return
+			}
+			// Remote branch: request message, server disk, data back,
+			// optional local save.
+			reqArrive := e.transmit(now, true)
+			e.schedule(reqArrive, func(t float64) {
+				diskDone := e.disk(t, s)
+				e.schedule(diskDone, func(t2 float64) {
+					dataArrive := e.transmit(t2, false)
+					if st.Saving {
+						e.schedule(dataArrive, func(t3 float64) {
+							complete(e.disk(t3, i))
+						})
+						return
+					}
+					complete(dataArrive)
+				})
+			})
+		})
+		return
+	}
+
+	// Write: local output (when the writer is in X) in parallel with the
+	// propagation fan-out; invalidations fire asynchronously. With the
+	// writer in X there are 1 + (|X|-1) branches, otherwise |X| pushes —
+	// either way one branch per member of X.
+	x := st.Exec
+	branches := x.Size()
+	worst := now
+	remaining := branches
+	complete := func(t float64) {
+		if t > worst {
+			worst = t
+		}
+		remaining--
+		if remaining == 0 {
+			finish(worst)
+		}
+	}
+	x.ForEach(func(q model.ProcessorID) {
+		if q == i {
+			complete(e.disk(now, q))
+			return
+		}
+		dataArrive := e.transmit(now, false)
+		e.schedule(dataArrive, func(t float64) {
+			complete(e.disk(t, q))
+		})
+	})
+
+	obsolete := scheme.Diff(x)
+	if !x.Contains(i) {
+		obsolete = obsolete.Remove(i)
+	}
+	obsolete.ForEach(func(model.ProcessorID) {
+		e.transmit(now, true)
+	})
+}
+
+// PoissonArrivals returns n arrivals with exponentially distributed
+// interarrival times of the given rate — the classic open-loop stochastic
+// load. Deterministic for a fixed rng seed.
+func PoissonArrivals(rng *rand.Rand, n int, rate float64) []float64 {
+	if rate <= 0 {
+		panic("latency: rate must be positive")
+	}
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = t
+	}
+	return out
+}
+
+// CurvePoint is one point of a response-time-vs-load curve.
+type CurvePoint struct {
+	Rate    float64
+	Mean    float64
+	P99     float64
+	BusUtil float64
+}
+
+// ResponseCurve simulates the allocation schedule at each open-loop rate
+// and returns the response-time curve — the §1.2 congestion story as data.
+func ResponseCurve(p Profile, a model.AllocSchedule, initial model.Set, rates []float64) ([]CurvePoint, error) {
+	out := make([]CurvePoint, 0, len(rates))
+	for _, rate := range rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("latency: non-positive rate %g", rate)
+		}
+		res, err := Simulate(p, a, initial, UniformArrivals(len(a), rate))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{Rate: rate, Mean: res.Summary.Mean, P99: res.Summary.P99, BusUtil: res.BusUtilization()})
+	}
+	return out, nil
+}
+
+// SimulateClosedLoop runs the allocation schedule with per-processor
+// closed-loop clients: each processor issues its next request thinkTime
+// after its previous one completes (its first request starts at time 0).
+// Requests of different processors overlap freely; the write total order
+// of the schedule is treated as already decided by concurrency control,
+// so only the per-client dependency is modeled.
+func SimulateClosedLoop(p Profile, a model.AllocSchedule, initial model.Set, thinkTime float64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if thinkTime < 0 {
+		return nil, fmt.Errorf("latency: negative think time")
+	}
+	// nextOf[i] is the index of processor-of-i's next request after i.
+	nextOf := make([]int, len(a))
+	firstOf := map[model.ProcessorID]int{}
+	lastSeen := map[model.ProcessorID]int{}
+	for i, st := range a {
+		nextOf[i] = -1
+		proc := st.Request.Processor
+		if j, ok := lastSeen[proc]; ok {
+			nextOf[j] = i
+		} else {
+			firstOf[proc] = i
+		}
+		lastSeen[proc] = i
+		if st.Exec.IsEmpty() {
+			return nil, fmt.Errorf("latency: request %d has an empty execution set", i)
+		}
+	}
+
+	maxProc := model.ProcessorID(0)
+	consider := func(s model.Set) {
+		s.ForEach(func(id model.ProcessorID) {
+			if id > maxProc {
+				maxProc = id
+			}
+		})
+	}
+	consider(initial)
+	for _, st := range a {
+		consider(st.Exec)
+		if st.Request.Processor > maxProc {
+			maxProc = st.Request.Processor
+		}
+	}
+	n := int(maxProc) + 1
+
+	e := &engine{p: p, diskFree: make([]float64, n), diskBusy: make([]float64, n)}
+	res := &Result{Response: make([]float64, len(a)), DiskBusy: e.diskBusy}
+
+	schemes := make([]model.Set, len(a))
+	scheme := initial
+	for i, st := range a {
+		schemes[i] = scheme
+		scheme = model.NextScheme(scheme, st)
+	}
+
+	var launch func(idx int, at float64)
+	launch = func(idx int, at float64) {
+		st := a[idx]
+		e.schedule(at, func(now float64) {
+			e.serveRequest(now, st, schemes[idx], func(completion float64) {
+				res.Response[idx] = completion - at
+				if nxt := nextOf[idx]; nxt >= 0 {
+					launch(nxt, completion+thinkTime)
+				}
+			})
+		})
+	}
+	for _, idx := range sortedValues(firstOf) {
+		launch(idx, 0)
+	}
+	e.runAll()
+
+	res.Summary = stats.Summarize(res.Response)
+	res.Makespan = e.makespan
+	res.BusBusy = e.busBusy
+	return res, nil
+}
+
+// sortedValues returns the map's values in ascending order, for
+// deterministic launch ordering.
+func sortedValues(m map[model.ProcessorID]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,433 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/workload"
+)
+
+const eps = 1e-9
+
+func almost(a, b float64) bool { return math.Abs(a-b) < eps }
+
+func TestProfileValidate(t *testing.T) {
+	if err := (Profile{ControlTime: 0.1, DataTime: 1, DiskTime: 2}).Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := (Profile{ControlTime: 2, DataTime: 1}).Validate(); err == nil {
+		t.Error("control > data accepted")
+	}
+	if err := (Profile{DiskTime: -1}).Validate(); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	a := UniformArrivals(4, 2)
+	want := []float64{0, 0.5, 1, 1.5}
+	for i := range want {
+		if !almost(a[i], want[i]) {
+			t.Errorf("arrival[%d] = %g, want %g", i, a[i], want[i])
+		}
+	}
+}
+
+func TestUniformArrivalsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rate 0 did not panic")
+		}
+	}()
+	UniformArrivals(3, 0)
+}
+
+// Hand-computed latencies for the primitive operations, point-to-point.
+func TestLocalReadLatency(t *testing.T) {
+	p := Profile{ControlTime: 0.1, DataTime: 1, PropDelay: 0.2, DiskTime: 3}
+	a := model.AllocSchedule{{Request: model.R(0), Exec: model.NewSet(0)}}
+	res, err := Simulate(p, a, model.NewSet(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Response[0], 3) { // one disk input
+		t.Errorf("local read = %g, want 3", res.Response[0])
+	}
+}
+
+func TestRemoteReadLatency(t *testing.T) {
+	p := Profile{ControlTime: 0.1, DataTime: 1, PropDelay: 0.2, DiskTime: 3}
+	a := model.AllocSchedule{{Request: model.R(5), Exec: model.NewSet(0)}}
+	res, err := Simulate(p, a, model.NewSet(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// control (0.1+0.2) + disk 3 + data (1+0.2) = 4.5
+	if !almost(res.Response[0], 4.5) {
+		t.Errorf("remote read = %g, want 4.5", res.Response[0])
+	}
+}
+
+func TestSavingReadLatency(t *testing.T) {
+	p := Profile{ControlTime: 0.1, DataTime: 1, PropDelay: 0.2, DiskTime: 3}
+	a := model.AllocSchedule{{Request: model.R(5), Exec: model.NewSet(0), Saving: true}}
+	res, err := Simulate(p, a, model.NewSet(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// remote read 4.5 + local save 3
+	if !almost(res.Response[0], 7.5) {
+		t.Errorf("saving read = %g, want 7.5", res.Response[0])
+	}
+}
+
+func TestWriteLatencyParallelFanOut(t *testing.T) {
+	p := Profile{ControlTime: 0.1, DataTime: 1, PropDelay: 0.2, DiskTime: 3}
+	// Writer 0 in X = {0,1,2}: local disk (3) in parallel with two pushes
+	// (1+0.2 transfer + 3 disk = 4.2 each, p2p so no bus queueing).
+	a := model.AllocSchedule{{Request: model.W(0), Exec: model.NewSet(0, 1, 2)}}
+	res, err := Simulate(p, a, model.NewSet(0, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Response[0], 4.2) {
+		t.Errorf("write = %g, want 4.2", res.Response[0])
+	}
+}
+
+func TestInvalidationsDoNotBlockResponseButOccupyBus(t *testing.T) {
+	p := Profile{ControlTime: 0.5, DataTime: 1, DiskTime: 1, SharedBus: true}
+	// Scheme {0,1,2,3}; write by 0 with X = {0,1}: invalidations to 2,3.
+	a := model.AllocSchedule{{Request: model.W(0), Exec: model.NewSet(0, 1)}}
+	res, err := Simulate(p, a, model.NewSet(0, 1, 2, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Response: local disk (1) || push (bus 1 + disk 1 = 2) — but the two
+	// invalidations may occupy the bus before the push depending on order;
+	// total bus busy = data 1 + 2 control 0.5 = 2.
+	if !almost(res.BusBusy, 2.0) {
+		t.Errorf("bus busy = %g, want 2", res.BusBusy)
+	}
+	if res.Response[0] > 4.01 {
+		t.Errorf("response = %g, invalidations appear to block", res.Response[0])
+	}
+}
+
+func TestSharedBusSerializesMessages(t *testing.T) {
+	p := Profile{ControlTime: 0, DataTime: 1, DiskTime: 0, SharedBus: true}
+	// Two simultaneous remote reads from different readers, same server:
+	// the two data replies must serialize on the bus.
+	a := model.AllocSchedule{
+		{Request: model.R(2), Exec: model.NewSet(0)},
+		{Request: model.R(3), Exec: model.NewSet(0)},
+	}
+	res, err := Simulate(p, a, model.NewSet(0, 1), []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := res.Response[0], res.Response[1]
+	if fast > slow {
+		fast, slow = slow, fast
+	}
+	if !almost(fast, 1) || !almost(slow, 2) {
+		t.Errorf("responses = %v, want one at 1 and one at 2 (bus serialization)", res.Response)
+	}
+	// Point-to-point: both finish at 1.
+	p.SharedBus = false
+	res, err = Simulate(p, a, model.NewSet(0, 1), []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Response[0], 1) || !almost(res.Response[1], 1) {
+		t.Errorf("p2p responses = %v, want both 1", res.Response)
+	}
+}
+
+func TestDiskQueueing(t *testing.T) {
+	p := Profile{ControlTime: 0, DataTime: 0, DiskTime: 2}
+	// Two local reads at the same processor arriving together: FIFO disk.
+	a := model.AllocSchedule{
+		{Request: model.R(0), Exec: model.NewSet(0)},
+		{Request: model.R(0), Exec: model.NewSet(0)},
+	}
+	res, err := Simulate(p, a, model.NewSet(0, 1), []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := res.Response[0], res.Response[1]
+	if fast > slow {
+		fast, slow = slow, fast
+	}
+	if !almost(fast, 2) || !almost(slow, 4) {
+		t.Errorf("disk queueing responses = %v, want 2 and 4", res.Response)
+	}
+	if !almost(res.DiskBusy[0], 4) {
+		t.Errorf("disk busy = %g, want 4", res.DiskBusy[0])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := Profile{DataTime: 1, DiskTime: 1}
+	good := model.AllocSchedule{{Request: model.R(0), Exec: model.NewSet(0)}}
+	if _, err := Simulate(p, good, model.NewSet(0, 1), []float64{0, 1}); err == nil {
+		t.Error("mismatched arrivals accepted")
+	}
+	if _, err := Simulate(p, model.AllocSchedule{{Request: model.R(0)}}, model.NewSet(0, 1), nil); err == nil {
+		t.Error("empty exec set accepted")
+	}
+	bad := model.AllocSchedule{
+		{Request: model.R(0), Exec: model.NewSet(0)},
+		{Request: model.R(0), Exec: model.NewSet(0)},
+	}
+	if _, err := Simulate(p, bad, model.NewSet(0, 1), []float64{1, 0}); err == nil {
+		t.Error("non-monotone arrivals accepted")
+	}
+	if _, err := Simulate(Profile{ControlTime: 2, DataTime: 1}, good, model.NewSet(0, 1), nil); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+// The §1.2 argument, end to end: on a shared bus under a read-heavy
+// open-loop load, DA (whose §3-model cost is lower) yields lower mean
+// response time than SA, and the gap widens as the load grows toward
+// saturation.
+func TestBusContentionFavorsCheaperAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sched := workload.Hotspot(rng, 6, 300, 0.08, model.NewSet(4, 5), 0.8)
+	initial := model.NewSet(0, 1)
+	p := Profile{ControlTime: 0.05, DataTime: 1, PropDelay: 0.05, DiskTime: 0.3, SharedBus: true}
+
+	mean := func(f dom.Factory, rate float64) float64 {
+		las, err := dom.RunFactory(f, initial, 2, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(p, las, initial, UniformArrivals(len(las), rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.Mean
+	}
+
+	var prevGap float64
+	for _, rate := range []float64{0.2, 0.5, 0.8} {
+		sa := mean(dom.StaticFactory, rate)
+		da := mean(dom.DynamicFactory, rate)
+		if da >= sa {
+			t.Errorf("rate %g: DA mean %g not below SA mean %g", rate, da, sa)
+		}
+		gap := sa - da
+		if gap < prevGap {
+			t.Errorf("rate %g: gap %g shrank from %g — congestion should widen it", rate, gap, prevGap)
+		}
+		prevGap = gap
+	}
+}
+
+func TestBusUtilizationBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sched := workload.Uniform(rng, 5, 100, 0.3)
+	las, err := dom.RunFactory(dom.StaticFactory, model.NewSet(0, 1), 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile{ControlTime: 0.1, DataTime: 1, DiskTime: 0.5, SharedBus: true}
+	res, err := Simulate(p, las, model.NewSet(0, 1), UniformArrivals(len(las), 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.BusUtilization()
+	if u <= 0 || u > 1+eps {
+		t.Errorf("bus utilization = %g", u)
+	}
+	if res.Makespan <= 0 {
+		t.Error("makespan not positive")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	res, err := Simulate(Profile{DataTime: 1}, nil, model.NewSet(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Response) != 0 || res.Makespan != 0 || res.BusUtilization() != 0 {
+		t.Errorf("empty schedule result: %+v", res)
+	}
+}
+
+// Property: responses are non-negative and higher load never lowers any
+// request's completion-ordering invariants (mean response is monotone in
+// rate for a fixed schedule on a shared bus).
+func TestMeanResponseMonotoneInLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sched := workload.Uniform(rng, 5, 120, 0.3)
+	las, err := dom.RunFactory(dom.DynamicFactory, model.NewSet(0, 1), 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile{ControlTime: 0.1, DataTime: 1, DiskTime: 0.5, SharedBus: true}
+	prev := 0.0
+	for _, rate := range []float64{0.1, 0.3, 0.6, 1.2} {
+		res, err := Simulate(p, las, model.NewSet(0, 1), UniformArrivals(len(las), rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range res.Response {
+			if r < -eps {
+				t.Fatalf("negative response %g at %d", r, i)
+			}
+		}
+		if res.Summary.Mean < prev-eps {
+			t.Errorf("rate %g: mean %g below previous %g", rate, res.Summary.Mean, prev)
+		}
+		prev = res.Summary.Mean
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := PoissonArrivals(rng, 5000, 2.0)
+	if len(a) != 5000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+	// Mean interarrival should be ~1/rate = 0.5.
+	mean := a[len(a)-1] / float64(len(a))
+	if mean < 0.45 || mean > 0.55 {
+		t.Errorf("mean interarrival = %g, want ~0.5", mean)
+	}
+}
+
+func TestPoissonArrivalsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rate 0 did not panic")
+		}
+	}()
+	PoissonArrivals(rand.New(rand.NewSource(1)), 3, 0)
+}
+
+func TestResponseCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sched := workload.Uniform(rng, 5, 80, 0.3)
+	las, err := dom.RunFactory(dom.StaticFactory, model.NewSet(0, 1), 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile{ControlTime: 0.1, DataTime: 1, DiskTime: 0.5, SharedBus: true}
+	curve, err := ResponseCurve(p, las, model.NewSet(0, 1), []float64{0.2, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve = %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Mean < curve[i-1].Mean-eps {
+			t.Errorf("mean response decreased with load: %+v", curve)
+		}
+		if curve[i].BusUtil < curve[i-1].BusUtil-eps {
+			t.Errorf("bus utilization decreased with load: %+v", curve)
+		}
+	}
+	if _, err := ResponseCurve(p, las, model.NewSet(0, 1), []float64{0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestClosedLoopChainsPerProcessor(t *testing.T) {
+	p := Profile{ControlTime: 0, DataTime: 0, DiskTime: 2}
+	// Two local reads by processor 0 chained with think time 1, one read
+	// by processor 1 concurrent with the first.
+	a := model.AllocSchedule{
+		{Request: model.R(0), Exec: model.NewSet(0)},
+		{Request: model.R(1), Exec: model.NewSet(1)},
+		{Request: model.R(0), Exec: model.NewSet(0)},
+	}
+	res, err := SimulateClosedLoop(p, a, model.NewSet(0, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First read of 0: disk 2 -> response 2. Second read of 0 launches at
+	// 3, no queueing -> response 2. Processor 1's read: response 2.
+	for i, want := range []float64{2, 2, 2} {
+		if !almost(res.Response[i], want) {
+			t.Errorf("response[%d] = %g, want %g", i, res.Response[i], want)
+		}
+	}
+	// Makespan: request 2 completes at 3+2 = 5.
+	if !almost(res.Makespan, 5) {
+		t.Errorf("makespan = %g, want 5", res.Makespan)
+	}
+}
+
+func TestClosedLoopSelfInterferenceOnSharedDisk(t *testing.T) {
+	p := Profile{ControlTime: 0, DataTime: 0, DiskTime: 2}
+	// Processors 0 and 1 both read from 0's disk in closed loops: the
+	// disk serializes them.
+	a := model.AllocSchedule{
+		{Request: model.R(0), Exec: model.NewSet(0)},
+		{Request: model.R(1), Exec: model.NewSet(0)},
+	}
+	res, err := SimulateClosedLoop(p, a, model.NewSet(0, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.DiskBusy[0], 4) {
+		t.Errorf("disk busy = %g, want 4", res.DiskBusy[0])
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	p := Profile{DataTime: 1}
+	good := model.AllocSchedule{{Request: model.R(0), Exec: model.NewSet(0)}}
+	if _, err := SimulateClosedLoop(p, good, model.NewSet(0, 1), -1); err == nil {
+		t.Error("negative think time accepted")
+	}
+	if _, err := SimulateClosedLoop(p, model.AllocSchedule{{Request: model.R(0)}}, model.NewSet(0, 1), 0); err == nil {
+		t.Error("empty exec accepted")
+	}
+	if _, err := SimulateClosedLoop(Profile{ControlTime: 2, DataTime: 1}, good, model.NewSet(0, 1), 0); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
+
+func TestClosedLoopOrderings(t *testing.T) {
+	// A closed loop keeps one outstanding request per processor, so (a)
+	// its mean response is at least the fully isolated open-loop mean
+	// (contention can only add latency), and (b) longer think times mean
+	// less contention, so the mean is non-increasing in think time.
+	rng := rand.New(rand.NewSource(12))
+	sched := workload.Uniform(rng, 4, 40, 0.3)
+	las, err := dom.RunFactory(dom.StaticFactory, model.NewSet(0, 1), 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Profile{ControlTime: 0.1, DataTime: 1, DiskTime: 0.5, SharedBus: true}
+	isolated, err := Simulate(p, las, model.NewSet(0, 1), UniformArrivals(len(las), 0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, think := range []float64{0, 2, 20, 200} {
+		closed, err := SimulateClosedLoop(p, las, model.NewSet(0, 1), think)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closed.Summary.Mean < isolated.Summary.Mean-eps {
+			t.Errorf("think %g: closed mean %g below isolated %g", think, closed.Summary.Mean, isolated.Summary.Mean)
+		}
+		if closed.Summary.Mean > prev+0.05 {
+			t.Errorf("think %g: mean %g grew from %g — contention should ease", think, closed.Summary.Mean, prev)
+		}
+		prev = closed.Summary.Mean
+	}
+}

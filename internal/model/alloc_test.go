@@ -1,0 +1,201 @@
+package model
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The running example from §3.1:
+// τ0 = w2{2,3} r4{1,2} w3{2,3} r1{1,2} r2{2}, and the variant τ̄0 in which
+// the fourth request is a saving-read.
+func paperAllocSchedule(savingFourth bool) AllocSchedule {
+	return AllocSchedule{
+		{Request: W(2), Exec: NewSet(2, 3)},
+		{Request: R(4), Exec: NewSet(1, 2)},
+		{Request: W(3), Exec: NewSet(2, 3)},
+		{Request: R(1), Exec: NewSet(1, 2), Saving: savingFourth},
+		{Request: R(2), Exec: NewSet(2)},
+	}
+}
+
+func TestSchemeEvolutionPaperExample(t *testing.T) {
+	// §3.1: with initial allocation scheme {3,4}, the scheme at the first
+	// request is {3,4}; at the second, third and fourth requests it is
+	// {2,3}; at the fifth request it is {1,2,3} (after the saving-read).
+	a := paperAllocSchedule(true)
+	initial := NewSet(3, 4)
+	wants := []Set{NewSet(3, 4), NewSet(2, 3), NewSet(2, 3), NewSet(2, 3), NewSet(1, 2, 3)}
+	for i, want := range wants {
+		if got := a.SchemeAt(i, initial); got != want {
+			t.Errorf("scheme at request %d = %v, want %v", i+1, got, want)
+		}
+	}
+	// After the whole schedule the object is stored at {1,2,3}.
+	if got := a.FinalScheme(initial); got != NewSet(1, 2, 3) {
+		t.Errorf("final scheme = %v, want {1,2,3}", got)
+	}
+}
+
+func TestLegalityPaperExample(t *testing.T) {
+	// τ̄0 is legal, but becomes illegal if the execution set of the last
+	// request r2 is changed from {2} to {4} (§3.1).
+	a := paperAllocSchedule(true)
+	if err := a.Validate(NewSet(3, 4), 2); err != nil {
+		t.Errorf("paper allocation schedule should be legal: %v", err)
+	}
+	bad := a.Clone()
+	bad[4].Exec = NewSet(4)
+	err := bad.Validate(NewSet(3, 4), 2)
+	if err == nil {
+		t.Fatal("illegal variant validated")
+	}
+	if v, ok := err.(*Violation); !ok || v.Index != 4 {
+		t.Errorf("violation = %v, want at step 4", err)
+	}
+}
+
+func TestValidateInitialScheme(t *testing.T) {
+	a := AllocSchedule{}
+	if err := a.Validate(NewSet(1), 2); err == nil {
+		t.Error("initial scheme below t validated")
+	}
+	if err := a.Validate(NewSet(1, 2), 2); err != nil {
+		t.Errorf("valid empty schedule rejected: %v", err)
+	}
+}
+
+func TestValidateEmptyExecSet(t *testing.T) {
+	a := AllocSchedule{{Request: R(1), Exec: EmptySet}}
+	if err := a.Validate(NewSet(1, 2), 2); err == nil {
+		t.Error("empty execution set validated")
+	}
+}
+
+func TestValidateWriteBelowT(t *testing.T) {
+	a := AllocSchedule{{Request: W(1), Exec: NewSet(1)}}
+	if err := a.Validate(NewSet(1, 2), 2); err == nil {
+		t.Error("write shrinking scheme below t validated")
+	}
+	ok := AllocSchedule{{Request: W(1), Exec: NewSet(1, 3)}}
+	if err := ok.Validate(NewSet(1, 2), 2); err != nil {
+		t.Errorf("valid write rejected: %v", err)
+	}
+}
+
+func TestValidateSavingWrite(t *testing.T) {
+	a := AllocSchedule{{Request: W(1), Exec: NewSet(1, 2), Saving: true}}
+	if err := a.Validate(NewSet(1, 2), 2); err == nil {
+		t.Error("saving write validated")
+	}
+}
+
+func TestCorrespondsTo(t *testing.T) {
+	a := paperAllocSchedule(true)
+	if !a.CorrespondsTo(MustParseSchedule("w2 r4 w3 r1 r2")) {
+		t.Error("CorrespondsTo = false for corresponding schedule")
+	}
+	if a.CorrespondsTo(MustParseSchedule("w2 r4 w3 r1")) {
+		t.Error("CorrespondsTo = true for shorter schedule")
+	}
+	if a.CorrespondsTo(MustParseSchedule("w2 r4 w3 r1 r3")) {
+		t.Error("CorrespondsTo = true for different request")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	st := Step{Request: R(4), Exec: NewSet(1, 2)}
+	if st.String() != "r4{1,2}" {
+		t.Errorf("String = %q", st.String())
+	}
+	st.Saving = true
+	if st.String() != "R4{1,2}" {
+		t.Errorf("saving String = %q", st.String())
+	}
+	w := Step{Request: W(2), Exec: NewSet(2, 3)}
+	if w.String() != "w2{2,3}" {
+		t.Errorf("write String = %q", w.String())
+	}
+}
+
+func TestAllocScheduleString(t *testing.T) {
+	a := paperAllocSchedule(true)
+	s := a.String()
+	if !strings.Contains(s, "R1{1,2}") || !strings.Contains(s, "w2{2,3}") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSchemeAtPanics(t *testing.T) {
+	a := paperAllocSchedule(false)
+	defer func() {
+		if recover() == nil {
+			t.Error("SchemeAt out of range did not panic")
+		}
+	}()
+	a.SchemeAt(len(a)+1, NewSet(3, 4))
+}
+
+// Property: the scheme after a step is always related to the scheme before
+// it per NextScheme, and validation implies every intermediate scheme has
+// size >= t.
+func TestValidateImpliesTAvailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n, tAvail = 6, 2
+	for iter := 0; iter < 200; iter++ {
+		// Generate a random allocation schedule (not necessarily valid).
+		initial := randomScheme(rng, n, 1)
+		var a AllocSchedule
+		for i := 0; i < 12; i++ {
+			p := ProcessorID(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				a = append(a, Step{Request: R(p), Exec: randomScheme(rng, n, 1), Saving: rng.Intn(2) == 0})
+			} else {
+				a = append(a, Step{Request: W(p), Exec: randomScheme(rng, n, 1)})
+			}
+		}
+		if err := a.Validate(initial, tAvail); err == nil {
+			scheme := initial
+			for i, st := range a {
+				if st.Request.IsRead() && !st.Exec.Intersects(scheme) {
+					t.Fatalf("iter %d step %d: validated but illegal read", iter, i)
+				}
+				scheme = NextScheme(scheme, st)
+				if scheme.Size() < tAvail {
+					t.Fatalf("iter %d step %d: validated but scheme %v below t", iter, i, scheme)
+				}
+			}
+		}
+	}
+}
+
+func randomScheme(rng *rand.Rand, n, minSize int) Set {
+	for {
+		var s Set
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s = s.Add(ProcessorID(i))
+			}
+		}
+		if s.Size() >= minSize {
+			return s
+		}
+	}
+}
+
+func TestAllocScheduleScheduleConversion(t *testing.T) {
+	a := paperAllocSchedule(true)
+	s := a.Schedule()
+	if s.String() != "w2 r4 w3 r1 r2" {
+		t.Errorf("Schedule() = %q", s.String())
+	}
+}
+
+func TestAllocScheduleClone(t *testing.T) {
+	a := paperAllocSchedule(false)
+	c := a.Clone()
+	c[0].Exec = NewSet(9)
+	if a[0].Exec != NewSet(2, 3) {
+		t.Error("Clone aliases original")
+	}
+}

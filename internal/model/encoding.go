@@ -1,0 +1,48 @@
+package model
+
+// Text encodings for the model types, so schedules and sets serialize
+// cleanly in JSON documents, flags, and trace files. The wire format is the
+// paper's own notation (e.g. "w2 r4 w3" and "{1,2,3}"), which String and
+// the Parse functions already speak.
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Set) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Set) UnmarshalText(text []byte) error {
+	parsed, err := ParseSet(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (r Request) MarshalText() ([]byte, error) { return []byte(r.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (r *Request) UnmarshalText(text []byte) error {
+	sched, err := ParseSchedule(string(text))
+	if err != nil {
+		return err
+	}
+	if len(sched) != 1 {
+		return &Violation{Index: -1, Reason: "expected exactly one request"}
+	}
+	*r = sched[0]
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (s Schedule) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Schedule) UnmarshalText(text []byte) error {
+	parsed, err := ParseSchedule(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}

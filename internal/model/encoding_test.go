@@ -1,0 +1,80 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	type doc struct {
+		Scheme Set `json:"scheme"`
+	}
+	in := doc{Scheme: NewSet(1, 2, 5)}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"scheme":"{1,2,5}"}` {
+		t.Errorf("marshal = %s", raw)
+	}
+	var out doc
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme != in.Scheme {
+		t.Errorf("round trip %v -> %v", in.Scheme, out.Scheme)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	type doc struct {
+		Trace Schedule `json:"trace"`
+	}
+	in := doc{Trace: MustParseSchedule("w2 r4 w3 r1 r2")}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out doc
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace.String() != in.Trace.String() {
+		t.Errorf("round trip %q -> %q", in.Trace, out.Trace)
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	raw, err := json.Marshal(W(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `"w7"` {
+		t.Errorf("marshal = %s", raw)
+	}
+	var r Request
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r != W(7) {
+		t.Errorf("round trip = %v", r)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var s Set
+	if err := s.UnmarshalText([]byte("not-a-set")); err == nil {
+		t.Error("bad set accepted")
+	}
+	var r Request
+	if err := r.UnmarshalText([]byte("r1 r2")); err == nil {
+		t.Error("two requests accepted as one")
+	}
+	if err := r.UnmarshalText([]byte("zz")); err == nil {
+		t.Error("garbage request accepted")
+	}
+	var sched Schedule
+	if err := sched.UnmarshalText([]byte("r1 xx")); err == nil {
+		t.Error("garbage schedule accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package model
+
+import (
+	"testing"
+)
+
+// FuzzParseSchedule checks that the parser never panics and that parsing
+// round-trips through String for every accepted input.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"", "r1", "w2 r4 w3 r1 r2", "r0 w63", "w2  r4\tw3", "r-1", "x5", "r", "w999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sched, err := ParseSchedule(input)
+		if err != nil {
+			return
+		}
+		reparsed, err := ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("canonical form %q failed to parse: %v", sched.String(), err)
+		}
+		if reparsed.String() != sched.String() {
+			t.Fatalf("round trip changed: %q -> %q", sched.String(), reparsed.String())
+		}
+	})
+}
+
+// FuzzParseSet mirrors FuzzParseSchedule for the set notation.
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []string{"{}", "{0}", "{1,2,3}", "{63}", "{64}", "{a}", "1,2", "{1,2", "{ 5 , 7 }"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSet(input)
+		if err != nil {
+			return
+		}
+		reparsed, err := ParseSet(s.String())
+		if err != nil {
+			t.Fatalf("canonical form %q failed to parse: %v", s.String(), err)
+		}
+		if reparsed != s {
+			t.Fatalf("round trip changed: %v -> %v", s, reparsed)
+		}
+	})
+}

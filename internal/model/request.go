@@ -1,0 +1,140 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is the kind of an access request.
+type Op int
+
+const (
+	// Read is a read request: the issuing processor needs the latest
+	// version of the object in main memory.
+	Read Op = iota
+	// Write is a write request: the issuing processor creates a new
+	// version of the object.
+	Write
+)
+
+// String returns "r" or "w", matching the paper's notation.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request is a single access request in a schedule: an operation together
+// with the processor that issued it. In the paper's notation a request is
+// written r^i or w^i, e.g. w2 is a write issued by processor 2.
+type Request struct {
+	Op        Op
+	Processor ProcessorID
+}
+
+// R returns a read request issued by processor p.
+func R(p ProcessorID) Request { return Request{Op: Read, Processor: p} }
+
+// W returns a write request issued by processor p.
+func W(p ProcessorID) Request { return Request{Op: Write, Processor: p} }
+
+// IsRead reports whether the request is a read.
+func (r Request) IsRead() bool { return r.Op == Read }
+
+// IsWrite reports whether the request is a write.
+func (r Request) IsWrite() bool { return r.Op == Write }
+
+// String renders the request in the paper's notation, e.g. "r4" or "w2".
+func (r Request) String() string {
+	return fmt.Sprintf("%s%d", r.Op, int(r.Processor))
+}
+
+// Schedule is a finite sequence of read-write requests to a single object,
+// totally ordered by the system's concurrency-control mechanism (§3.1).
+type Schedule []Request
+
+// ParseSchedule parses a whitespace-separated sequence of requests in the
+// paper's notation, e.g. "w2 r4 w3 r1 r2". It is the inverse of
+// Schedule.String.
+func ParseSchedule(text string) (Schedule, error) {
+	fields := strings.Fields(text)
+	sched := make(Schedule, 0, len(fields))
+	for _, f := range fields {
+		if len(f) < 2 {
+			return nil, fmt.Errorf("model: malformed request %q", f)
+		}
+		var op Op
+		switch f[0] {
+		case 'r':
+			op = Read
+		case 'w':
+			op = Write
+		default:
+			return nil, fmt.Errorf("model: malformed request %q: operation must be r or w", f)
+		}
+		var id int
+		if _, err := fmt.Sscanf(f[1:], "%d", &id); err != nil {
+			return nil, fmt.Errorf("model: malformed request %q: %v", f, err)
+		}
+		if id < 0 || id >= MaxProcessors {
+			return nil, fmt.Errorf("model: processor id %d out of range [0,%d)", id, MaxProcessors)
+		}
+		sched = append(sched, Request{Op: op, Processor: ProcessorID(id)})
+	}
+	return sched, nil
+}
+
+// MustParseSchedule is like ParseSchedule but panics on error.
+// It is intended for tests and package-level examples.
+func MustParseSchedule(text string) Schedule {
+	s, err := ParseSchedule(text)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// String renders the schedule in the paper's notation, e.g. "w2 r4 w3 r1 r2".
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, r := range s {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Processors returns the set of processors that issue at least one request
+// in the schedule.
+func (s Schedule) Processors() Set {
+	var set Set
+	for _, r := range s {
+		set = set.Add(r.Processor)
+	}
+	return set
+}
+
+// Reads returns the number of read requests in the schedule.
+func (s Schedule) Reads() int {
+	n := 0
+	for _, r := range s {
+		if r.IsRead() {
+			n++
+		}
+	}
+	return n
+}
+
+// Writes returns the number of write requests in the schedule.
+func (s Schedule) Writes() int { return len(s) - s.Reads() }
+
+// Clone returns a deep copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}

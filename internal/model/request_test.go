@@ -1,0 +1,95 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestRequestString(t *testing.T) {
+	if got := R(4).String(); got != "r4" {
+		t.Errorf("R(4) = %q", got)
+	}
+	if got := W(2).String(); got != "w2" {
+		t.Errorf("W(2) = %q", got)
+	}
+}
+
+func TestRequestPredicates(t *testing.T) {
+	if !R(0).IsRead() || R(0).IsWrite() {
+		t.Error("R(0) predicates wrong")
+	}
+	if !W(0).IsWrite() || W(0).IsRead() {
+		t.Error("W(0) predicates wrong")
+	}
+}
+
+func TestParseSchedulePaperExample(t *testing.T) {
+	// ψ0 = w2 r4 w3 r1 r2 from §3.1.
+	s, err := ParseSchedule("w2 r4 w3 r1 r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{W(2), R(4), W(3), R(1), R(2)}
+	if len(s) != len(want) {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("s[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+	if s.String() != "w2 r4 w3 r1 r2" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, bad := range []string{"x2", "r", "rx", "r-1", "r64", "w2 q3"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q): expected error", bad)
+		}
+	}
+}
+
+func TestMustParseSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseSchedule did not panic on bad input")
+		}
+	}()
+	MustParseSchedule("zz")
+}
+
+func TestScheduleStats(t *testing.T) {
+	s := MustParseSchedule("w2 r4 w3 r1 r2")
+	if s.Reads() != 3 {
+		t.Errorf("Reads = %d", s.Reads())
+	}
+	if s.Writes() != 2 {
+		t.Errorf("Writes = %d", s.Writes())
+	}
+	if got := s.Processors(); got != NewSet(1, 2, 3, 4) {
+		t.Errorf("Processors = %v", got)
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	s := MustParseSchedule("r1 w2")
+	c := s.Clone()
+	c[0] = W(9)
+	if s[0] != R(1) {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	s, err := ParseSchedule("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 0 || s.Reads() != 0 || s.Writes() != 0 {
+		t.Error("empty schedule stats wrong")
+	}
+	if !s.Processors().IsEmpty() {
+		t.Error("empty schedule has processors")
+	}
+}

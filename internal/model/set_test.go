@@ -1,0 +1,229 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetAndContains(t *testing.T) {
+	s := NewSet(1, 3, 5)
+	for id := ProcessorID(0); id < 8; id++ {
+		want := id == 1 || id == 3 || id == 5
+		if got := s.Contains(id); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if s.Size() != 3 {
+		t.Errorf("Size = %d, want 3", s.Size())
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	if !EmptySet.IsEmpty() {
+		t.Error("EmptySet.IsEmpty() = false")
+	}
+	if EmptySet.Size() != 0 {
+		t.Errorf("EmptySet.Size() = %d", EmptySet.Size())
+	}
+	if EmptySet.String() != "{}" {
+		t.Errorf("EmptySet.String() = %q", EmptySet.String())
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 63, 64} {
+		s := FullSet(n)
+		if s.Size() != n {
+			t.Errorf("FullSet(%d).Size() = %d", n, s.Size())
+		}
+	}
+}
+
+func TestFullSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FullSet(65) did not panic")
+		}
+	}()
+	FullSet(65)
+}
+
+func TestAddRemove(t *testing.T) {
+	s := EmptySet.Add(7)
+	if !s.Contains(7) {
+		t.Error("Add(7) not contained")
+	}
+	s = s.Remove(7)
+	if s.Contains(7) {
+		t.Error("Remove(7) still contained")
+	}
+	// Removing an absent element is a no-op.
+	if got := NewSet(1).Remove(2); got != NewSet(1) {
+		t.Errorf("Remove absent: got %v", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(0, 1, 2)
+	b := NewSet(2, 3)
+	if got := a.Union(b); got != NewSet(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewSet(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != NewSet(0, 1) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false")
+	}
+	if a.Intersects(NewSet(5)) {
+		t.Error("Intersects disjoint = true")
+	}
+	if !NewSet(1).SubsetOf(a) {
+		t.Error("SubsetOf = false")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a.SubsetOf(b) = true")
+	}
+}
+
+func TestMinAndMember(t *testing.T) {
+	s := NewSet(4, 9, 17)
+	if s.Min() != 4 {
+		t.Errorf("Min = %d", s.Min())
+	}
+	want := []ProcessorID{4, 9, 17}
+	for k, w := range want {
+		if got := s.Member(k); got != w {
+			t.Errorf("Member(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty set did not panic")
+		}
+	}()
+	EmptySet.Min()
+}
+
+func TestMembersAndForEach(t *testing.T) {
+	s := NewSet(3, 1, 2)
+	got := s.Members()
+	want := []ProcessorID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Members[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	var seen []ProcessorID
+	s.ForEach(func(id ProcessorID) { seen = append(seen, id) })
+	if len(seen) != 3 || seen[0] != 1 || seen[2] != 3 {
+		t.Errorf("ForEach order = %v", seen)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []Set{EmptySet, NewSet(0), NewSet(1, 2, 3), NewSet(0, 63), FullSet(10)}
+	for _, s := range cases {
+		parsed, err := ParseSet(s.String())
+		if err != nil {
+			t.Fatalf("ParseSet(%q): %v", s.String(), err)
+		}
+		if parsed != s {
+			t.Errorf("round trip %v -> %v", s, parsed)
+		}
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	for _, bad := range []string{"", "1,2", "{1,2", "1,2}", "{a}", "{-1}", "{64}"} {
+		if _, err := ParseSet(bad); err == nil {
+			t.Errorf("ParseSet(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	s := NewSet(0, 2, 5)
+	count := 0
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) {
+		count++
+		if !sub.SubsetOf(s) {
+			t.Errorf("subset %v not subset of %v", sub, s)
+		}
+		if seen[sub] {
+			t.Errorf("subset %v enumerated twice", sub)
+		}
+		seen[sub] = true
+	})
+	if count != 8 {
+		t.Errorf("enumerated %d subsets, want 8", count)
+	}
+}
+
+// Property: union is commutative, associative; de Morgan via Diff.
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(a, b, c Set) bool {
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			return false
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			return false
+		}
+		// |A ∪ B| = |A| + |B| - |A ∩ B|
+		if a.Union(b).Size() != a.Size()+b.Size()-a.Intersect(b).Size() {
+			return false
+		}
+		// A \ B ⊆ A and disjoint from B
+		d := a.Diff(b)
+		return d.SubsetOf(a) && !d.Intersects(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add then Contains; Remove then !Contains.
+func TestAddRemoveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s := Set(rng.Uint64())
+		id := ProcessorID(rng.Intn(MaxProcessors))
+		if !s.Add(id).Contains(id) {
+			t.Fatalf("Add(%d) not contained in %v", id, s)
+		}
+		if s.Remove(id).Contains(id) {
+			t.Fatalf("Remove(%d) still contained in %v", id, s)
+		}
+		if s.Add(id).Size() != s.Size()+boolToInt(!s.Contains(id)) {
+			t.Fatalf("Add size mismatch")
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestSortedIDs(t *testing.T) {
+	got := SortedIDs([]ProcessorID{5, 1, 3})
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("SortedIDs = %v", got)
+	}
+}

@@ -1,0 +1,177 @@
+package multiobject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/sim"
+)
+
+func openExecuted(t *testing.T, protocol sim.Protocol) *ExecutedDB {
+	t.Helper()
+	db, err := OpenExecuted(ExecutedConfig{N: 5, T: 2, Protocol: protocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestOpenExecutedValidation(t *testing.T) {
+	if _, err := OpenExecuted(ExecutedConfig{N: 0, T: 2}); err == nil {
+		t.Error("N = 0 accepted")
+	}
+	if _, err := OpenExecuted(ExecutedConfig{N: 3, T: 0}); err == nil {
+		t.Error("T = 0 accepted")
+	}
+}
+
+func TestExecutedReadYourWrites(t *testing.T) {
+	db := openExecuted(t, sim.DA)
+	v, err := db.Write("doc", 3, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Read("doc", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != v.Seq || string(got.Data) != "hello" {
+		t.Errorf("read = %+v", got)
+	}
+	if names := db.Objects(); len(names) != 1 || names[0] != "doc" {
+		t.Errorf("objects = %v", names)
+	}
+}
+
+func TestExecutedObjectsIsolated(t *testing.T) {
+	db := openExecuted(t, sim.DA)
+	if _, err := db.Read("a", 4); err != nil { // 4 joins a's scheme
+		t.Fatal(err)
+	}
+	sa, err := db.SchemeOf("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := db.SchemeOf("b") // freshly created, untouched
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sa.Contains(4) || sb.Contains(4) {
+		t.Errorf("schemes a=%v b=%v", sa, sb)
+	}
+}
+
+// The analytic lift (DB) and the executed database (ExecutedDB) produce
+// identical integer accounting for the same per-object request sequences.
+func TestExecutedMatchesAnalyticLift(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	names := []string{"x", "y", "z"}
+
+	analytic, err := Open(Config{Factory: dom.DynamicFactory, T: 2, Model: cost.SC(0.3, 1.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	executed := openExecuted(t, sim.DA)
+
+	for i := 0; i < 400; i++ {
+		name := names[rng.Intn(len(names))]
+		p := model.ProcessorID(rng.Intn(5))
+		if rng.Float64() < 0.3 {
+			if _, err := analytic.Write(name, p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := executed.Write(name, p, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := analytic.Read(name, p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := executed.Read(name, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got, want := executed.TotalCounts(), analytic.TotalCounts(); got != want {
+		t.Errorf("executed %v != analytic %v", got, want)
+	}
+}
+
+// Operations on different objects proceed concurrently without interference.
+func TestExecutedConcurrentObjects(t *testing.T) {
+	db := openExecuted(t, sim.DA)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("obj-%d", g)
+			for i := 0; i < 20; i++ {
+				if _, err := db.Write(name, model.ProcessorID(i%5), []byte{byte(i)}); err != nil {
+					errs[g] = err
+					return
+				}
+				v, err := db.Read(name, model.ProcessorID((i+1)%5))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if v.Data[0] != byte(i) {
+					errs[g] = fmt.Errorf("stale read on %s: %v", name, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+	if len(db.Objects()) != 8 {
+		t.Errorf("objects = %v", db.Objects())
+	}
+}
+
+func TestExecutedClosedRejectsOps(t *testing.T) {
+	db, err := OpenExecuted(ExecutedConfig{N: 3, T: 2, Protocol: sim.SA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db.Close() // idempotent
+	if _, err := db.Read("a", 0); err == nil {
+		t.Error("read after close accepted")
+	}
+}
+
+func TestExecutedPlacement(t *testing.T) {
+	db, err := OpenExecuted(ExecutedConfig{
+		N: 6, T: 2, Protocol: sim.SA,
+		Placement: func(name string) model.Set {
+			if name == "east" {
+				return model.NewSet(4, 5)
+			}
+			return model.NewSet(0, 1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	se, err := db.SchemeOf("east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se != model.NewSet(4, 5) {
+		t.Errorf("east scheme = %v", se)
+	}
+}

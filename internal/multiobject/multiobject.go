@@ -1,0 +1,163 @@
+// Package multiobject lifts the paper's single-object model (§3.1: "In this
+// paper we address the allocation of a single object") to a database of
+// many independent objects: a directory maps each object to its own DOM
+// algorithm instance and its own allocation scheme, and costs are accounted
+// per object and in total.
+//
+// Under the paper's model objects do not interact — each object's requests
+// form their own schedule and its allocation scheme evolves independently —
+// so the lift is exact: the database's total cost is the sum of the
+// per-object costs the single-object analysis bounds.
+package multiobject
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+// Config describes the database.
+type Config struct {
+	// Factory builds the DOM algorithm used for each object (e.g.
+	// dom.DynamicFactory).
+	Factory dom.Factory
+	// T is the availability threshold applied to every object.
+	T int
+	// Placement returns the initial allocation scheme for a newly created
+	// object; nil places every object at {0..T-1}.
+	Placement func(name string) model.Set
+	// Model prices the accounting.
+	Model cost.Model
+}
+
+// DB is a multi-object distributed database directory.
+type DB struct {
+	mu      sync.Mutex
+	cfg     Config
+	objects map[string]*object
+}
+
+type object struct {
+	alg      dom.Algorithm
+	initial  model.Set
+	counts   cost.Counts
+	requests int
+}
+
+// Stats summarizes one object's lifetime.
+type Stats struct {
+	Name     string
+	Requests int
+	Counts   cost.Counts
+	Cost     float64
+	Scheme   model.Set
+}
+
+// Open creates an empty database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("multiobject: nil factory")
+	}
+	if cfg.T < 1 {
+		return nil, fmt.Errorf("multiobject: T = %d", cfg.T)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Placement == nil {
+		t := cfg.T
+		cfg.Placement = func(string) model.Set { return model.FullSet(t) }
+	}
+	return &DB{cfg: cfg, objects: make(map[string]*object)}, nil
+}
+
+// Apply services one request against the named object, creating the object
+// (at its placement) on first touch, and returns the request's cost.
+func (db *DB) Apply(name string, q model.Request) (float64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o, ok := db.objects[name]
+	if !ok {
+		initial := db.cfg.Placement(name)
+		alg, err := db.cfg.Factory(initial, db.cfg.T)
+		if err != nil {
+			return 0, fmt.Errorf("multiobject: create %q: %w", name, err)
+		}
+		o = &object{alg: alg, initial: initial}
+		db.objects[name] = o
+	}
+	scheme := o.alg.Scheme()
+	step := o.alg.Step(q)
+	c := cost.StepCounts(step, scheme)
+	o.counts = o.counts.Add(c)
+	o.requests++
+	return c.Price(db.cfg.Model), nil
+}
+
+// Read services a read of the named object issued by processor p.
+func (db *DB) Read(name string, p model.ProcessorID) (float64, error) {
+	return db.Apply(name, model.R(p))
+}
+
+// Write services a write of the named object issued by processor p.
+func (db *DB) Write(name string, p model.ProcessorID) (float64, error) {
+	return db.Apply(name, model.W(p))
+}
+
+// Objects returns the number of objects in the directory.
+func (db *DB) Objects() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.objects)
+}
+
+// TotalCounts returns the accounting summed over all objects.
+func (db *DB) TotalCounts() cost.Counts {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var total cost.Counts
+	for _, o := range db.objects {
+		total = total.Add(o.counts)
+	}
+	return total
+}
+
+// TotalCost prices the whole database's accounting.
+func (db *DB) TotalCost() float64 { return db.TotalCounts().Price(db.cfg.Model) }
+
+// StatsOf returns one object's stats, or false if it does not exist.
+func (db *DB) StatsOf(name string) (Stats, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o, ok := db.objects[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return db.statsLocked(name, o), true
+}
+
+// AllStats returns stats for every object, sorted by name.
+func (db *DB) AllStats() []Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]Stats, 0, len(db.objects))
+	for name, o := range db.objects {
+		out = append(out, db.statsLocked(name, o))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (db *DB) statsLocked(name string, o *object) Stats {
+	return Stats{
+		Name:     name,
+		Requests: o.requests,
+		Counts:   o.counts,
+		Cost:     o.counts.Price(db.cfg.Model),
+		Scheme:   o.alg.Scheme(),
+	}
+}

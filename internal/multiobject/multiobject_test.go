@@ -1,0 +1,200 @@
+package multiobject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/workload"
+)
+
+func openDB(t *testing.T, f dom.Factory) *DB {
+	t.Helper()
+	db, err := Open(Config{Factory: f, T: 2, Model: cost.SC(0.3, 1.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{Factory: nil, T: 2, Model: cost.SC(0.3, 1.2)}); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if _, err := Open(Config{Factory: dom.StaticFactory, T: 0, Model: cost.SC(0.3, 1.2)}); err == nil {
+		t.Error("T = 0 accepted")
+	}
+	if _, err := Open(Config{Factory: dom.StaticFactory, T: 2, Model: cost.SC(2, 1)}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}
+
+func TestObjectsAreIndependent(t *testing.T) {
+	db := openDB(t, dom.DynamicFactory)
+	// Object "a": reader 5 joins its scheme. Object "b" is untouched by
+	// that read.
+	if _, err := db.Read("a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Write("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	sa, ok := db.StatsOf("a")
+	if !ok || !sa.Scheme.Contains(5) {
+		t.Errorf("a stats = %+v ok=%v", sa, ok)
+	}
+	sb, ok := db.StatsOf("b")
+	if !ok || sb.Scheme.Contains(5) {
+		t.Errorf("b stats = %+v ok=%v", sb, ok)
+	}
+	if db.Objects() != 2 {
+		t.Errorf("objects = %d", db.Objects())
+	}
+}
+
+func TestTotalIsSumOfPerObject(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := openDB(t, dom.DynamicFactory)
+	names := []string{"x", "y", "z"}
+	for i := 0; i < 300; i++ {
+		name := names[rng.Intn(len(names))]
+		p := model.ProcessorID(rng.Intn(6))
+		var err error
+		if rng.Float64() < 0.3 {
+			_, err = db.Write(name, p)
+		} else {
+			_, err = db.Read(name, p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sum cost.Counts
+	var sumCost float64
+	for _, st := range db.AllStats() {
+		sum = sum.Add(st.Counts)
+		sumCost += st.Cost
+	}
+	if sum != db.TotalCounts() {
+		t.Errorf("sum %v != total %v", sum, db.TotalCounts())
+	}
+	if math.Abs(sumCost-db.TotalCost()) > 1e-9 {
+		t.Errorf("sum cost %g != total %g", sumCost, db.TotalCost())
+	}
+}
+
+// The lift is exact: running one object through the database equals running
+// the same schedule through the single-object machinery.
+func TestMatchesSingleObjectAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sched := workload.Uniform(rng, 6, 120, 0.3)
+	m := cost.SC(0.3, 1.2)
+
+	db, err := Open(Config{Factory: dom.DynamicFactory, T: 2, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbCost float64
+	for _, q := range sched {
+		c, err := db.Apply("obj", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbCost += c
+	}
+
+	las, err := dom.RunFactory(dom.DynamicFactory, model.NewSet(0, 1), 2, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cost.ScheduleCost(m, las, model.NewSet(0, 1))
+	if math.Abs(dbCost-want) > 1e-9 {
+		t.Errorf("db cost %g != single-object cost %g", dbCost, want)
+	}
+	st, _ := db.StatsOf("obj")
+	if st.Requests != len(sched) {
+		t.Errorf("requests = %d", st.Requests)
+	}
+}
+
+func TestPlacementPolicy(t *testing.T) {
+	// Hash-like placement: object "even" lives at {0,1}, "odd" at {2,3}.
+	cfg := Config{
+		Factory: dom.StaticFactory, T: 2, Model: cost.SC(0.3, 1.2),
+		Placement: func(name string) model.Set {
+			if name == "even" {
+				return model.NewSet(0, 1)
+			}
+			return model.NewSet(2, 3)
+		},
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Read("even", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Read("odd", 0); err != nil {
+		t.Fatal(err)
+	}
+	se, _ := db.StatsOf("even")
+	so, _ := db.StatsOf("odd")
+	if se.Scheme != model.NewSet(0, 1) || so.Scheme != model.NewSet(2, 3) {
+		t.Errorf("schemes: even %v odd %v", se.Scheme, so.Scheme)
+	}
+	// Local read at 0 for "even" costs 1 I/O; remote read for "odd" costs
+	// cc + 1 + cd.
+	if se.Cost != 1 {
+		t.Errorf("even cost = %g", se.Cost)
+	}
+	if math.Abs(so.Cost-(0.3+1+1.2)) > 1e-9 {
+		t.Errorf("odd cost = %g", so.Cost)
+	}
+}
+
+func TestStatsOfMissingObject(t *testing.T) {
+	db := openDB(t, dom.StaticFactory)
+	if _, ok := db.StatsOf("ghost"); ok {
+		t.Error("stats for missing object")
+	}
+}
+
+func TestAllStatsSorted(t *testing.T) {
+	db := openDB(t, dom.StaticFactory)
+	for _, name := range []string{"zeta", "alpha", "mu"} {
+		if _, err := db.Read(name, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := db.AllStats()
+	if len(all) != 3 || all[0].Name != "alpha" || all[2].Name != "zeta" {
+		t.Errorf("AllStats order: %v", func() []string {
+			var names []string
+			for _, s := range all {
+				names = append(names, s.Name)
+			}
+			return names
+		}())
+	}
+}
+
+func TestManyObjectsScale(t *testing.T) {
+	db := openDB(t, dom.DynamicFactory)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("obj-%d", i)
+		if _, err := db.Write(name, model.ProcessorID(i%8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Objects() != 1000 {
+		t.Errorf("objects = %d", db.Objects())
+	}
+	if db.TotalCounts().IO == 0 {
+		t.Error("no IO accounted")
+	}
+}

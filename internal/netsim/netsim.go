@@ -1,0 +1,386 @@
+// Package netsim simulates the point-to-point communication network of
+// Huang & Wolfson's model (§1.2, §3.2): a homogeneous system in which
+// transmitting a control message between any two processors costs cc and
+// transmitting a data message (one that carries the object) costs cd.
+//
+// The network bills every message at send time, classified as control or
+// data, so a protocol executed on top of it can be audited against the
+// analytic cost model message-for-message. It also supports fault
+// injection — crashed processors and partitioned links — for the failure
+// experiments (§2's quorum fallback).
+//
+// Delivery is asynchronous and per-link FIFO: each endpoint owns an
+// unbounded mailbox, so senders never block and the protocols layered on
+// top (package sim, package quorum) cannot deadlock on backpressure.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"objalloc/internal/model"
+	"objalloc/internal/storage"
+)
+
+// Kind classifies a message for billing: control messages carry only the
+// object id and an operation tag; data messages also carry the object.
+type Kind int
+
+const (
+	// Control is a short message billed at cc.
+	Control Kind = iota
+	// Data is an object-carrying message billed at cd.
+	Data
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Control:
+		return "control"
+	case Data:
+		return "data"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Type identifies the protocol-level meaning of a message.
+type Type int
+
+// Protocol message types. The replication protocols (package sim) use the
+// first group; quorum consensus (package quorum) uses the second.
+const (
+	// TReadReq asks a data processor to send back its copy (control).
+	TReadReq Type = iota
+	// TReadReply carries the object back to a reader (data).
+	TReadReply
+	// TWritePush propagates a newly written version to a replica (data).
+	TWritePush
+	// TInvalidate tells a processor its copy is obsolete (control).
+	TInvalidate
+	// TJoin informs an F-member that a reader saved a copy and must be
+	// entered in the join-list. In the paper this information rides on
+	// the read request itself, so TJoin is never sent as a separate
+	// message; it exists for protocol variants.
+	TJoin
+
+	// TVoteReq asks a processor for its version number (control).
+	TVoteReq
+	// TVoteReply answers with the version number (control).
+	TVoteReply
+	// TQuorumRead asks a quorum member for its full copy (control).
+	TQuorumRead
+	// TQuorumReadReply carries the copy back (data).
+	TQuorumReadReply
+	// TQuorumWrite pushes a version to a quorum member (data).
+	TQuorumWrite
+	// TQuorumAck acknowledges a quorum write (control).
+	TQuorumAck
+)
+
+// DefaultKind returns the billing class the paper assigns to each message
+// type: object-carrying messages are data, everything else control.
+func (t Type) DefaultKind() Kind {
+	switch t {
+	case TReadReply, TWritePush, TQuorumReadReply, TQuorumWrite:
+		return Data
+	default:
+		return Control
+	}
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	names := map[Type]string{
+		TReadReq: "read-req", TReadReply: "read-reply", TWritePush: "write-push",
+		TInvalidate: "invalidate", TJoin: "join",
+		TVoteReq: "vote-req", TVoteReply: "vote-reply",
+		TQuorumRead: "quorum-read", TQuorumReadReply: "quorum-read-reply",
+		TQuorumWrite: "quorum-write", TQuorumAck: "quorum-ack",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Message is one transmission between two processors.
+type Message struct {
+	From, To model.ProcessorID
+	Type     Type
+	// Seq correlates replies with requests and carries version numbers
+	// for vote messages.
+	Seq uint64
+	// Version is the object payload of data messages.
+	Version storage.Version
+}
+
+// Kind returns the billing class of the message.
+func (m Message) Kind() Kind { return m.Type.DefaultKind() }
+
+// Stats are the cumulative network counters. ControlSent/DataSent are the
+// quantities the cost model multiplies by cc and cd; messages to crashed or
+// partitioned destinations are still billed (the sender transmitted them)
+// but counted in Dropped as well.
+type Stats struct {
+	ControlSent int
+	DataSent    int
+	Dropped     int
+}
+
+// Network is the simulated interconnect.
+// NodeStats counts one processor's share of the traffic.
+type NodeStats struct {
+	ControlSent, DataSent         int
+	ControlReceived, DataReceived int
+}
+
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[model.ProcessorID]*Endpoint
+	crashed   map[model.ProcessorID]bool
+	blocked   map[[2]model.ProcessorID]bool
+	stats     Stats
+	perNode   map[model.ProcessorID]*NodeStats
+	closed    bool
+	// trace, when non-nil, receives every message at send time (before
+	// delivery). Used by fidelity tests.
+	trace func(Message, bool)
+}
+
+// New creates a network with endpoints for processors 0..n-1.
+func New(n int) *Network {
+	nw := &Network{
+		endpoints: make(map[model.ProcessorID]*Endpoint, n),
+		crashed:   make(map[model.ProcessorID]bool),
+		blocked:   make(map[[2]model.ProcessorID]bool),
+		perNode:   make(map[model.ProcessorID]*NodeStats, n),
+	}
+	for i := 0; i < n; i++ {
+		id := model.ProcessorID(i)
+		nw.endpoints[id] = newEndpoint(id)
+		nw.perNode[id] = &NodeStats{}
+	}
+	return nw
+}
+
+// Trace installs a callback invoked under the network lock for every Send;
+// delivered reports whether the message reached its destination mailbox.
+func (nw *Network) Trace(fn func(m Message, delivered bool)) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.trace = fn
+}
+
+// Endpoint returns the mailbox of the given processor.
+func (nw *Network) Endpoint(id model.ProcessorID) (*Endpoint, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	ep, ok := nw.endpoints[id]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown processor %d", id)
+	}
+	return ep, nil
+}
+
+// Send transmits a message. The message is billed unconditionally; it is
+// delivered unless the network is closed, the destination has crashed, the
+// link is partitioned, or the destination id is unknown. Send never blocks.
+func (nw *Network) Send(m Message) {
+	nw.mu.Lock()
+	if m.Kind() == Control {
+		nw.stats.ControlSent++
+		if ns := nw.perNode[m.From]; ns != nil {
+			ns.ControlSent++
+		}
+		if ns := nw.perNode[m.To]; ns != nil {
+			ns.ControlReceived++
+		}
+	} else {
+		nw.stats.DataSent++
+		if ns := nw.perNode[m.From]; ns != nil {
+			ns.DataSent++
+		}
+		if ns := nw.perNode[m.To]; ns != nil {
+			ns.DataReceived++
+		}
+	}
+	ep, ok := nw.endpoints[m.To]
+	deliverable := ok && !nw.closed && !nw.crashed[m.To] && !nw.crashed[m.From] && !nw.blocked[linkKey(m.From, m.To)]
+	if !deliverable {
+		nw.stats.Dropped++
+	}
+	if nw.trace != nil {
+		nw.trace(m, deliverable)
+	}
+	nw.mu.Unlock()
+	if deliverable {
+		ep.enqueue(m)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (nw *Network) Stats() Stats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.stats
+}
+
+// NodeStatsOf returns a snapshot of one processor's traffic counters.
+func (nw *Network) NodeStatsOf(id model.ProcessorID) NodeStats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if ns := nw.perNode[id]; ns != nil {
+		return *ns
+	}
+	return NodeStats{}
+}
+
+// ResetStats zeroes the counters (e.g. between experiment phases).
+func (nw *Network) ResetStats() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.stats = Stats{}
+	for _, ns := range nw.perNode {
+		*ns = NodeStats{}
+	}
+}
+
+// Crash makes the processor unreachable and stops it from sending; its
+// queued messages are discarded.
+func (nw *Network) Crash(id model.ProcessorID) {
+	nw.mu.Lock()
+	ep := nw.endpoints[id]
+	nw.crashed[id] = true
+	nw.mu.Unlock()
+	if ep != nil {
+		ep.drain()
+	}
+}
+
+// Restart makes a crashed processor reachable again.
+func (nw *Network) Restart(id model.ProcessorID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	delete(nw.crashed, id)
+}
+
+// Crashed reports whether the processor is currently crashed.
+func (nw *Network) Crashed(id model.ProcessorID) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.crashed[id]
+}
+
+// Partition blocks the (bidirectional) link between a and b.
+func (nw *Network) Partition(a, b model.ProcessorID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.blocked[linkKey(a, b)] = true
+	nw.blocked[linkKey(b, a)] = true
+}
+
+// Heal unblocks the link between a and b.
+func (nw *Network) Heal(a, b model.ProcessorID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	delete(nw.blocked, linkKey(a, b))
+	delete(nw.blocked, linkKey(b, a))
+}
+
+func linkKey(a, b model.ProcessorID) [2]model.ProcessorID {
+	return [2]model.ProcessorID{a, b}
+}
+
+// Close shuts every endpoint down; pending Recv calls return ok = false.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	eps := make([]*Endpoint, 0, len(nw.endpoints))
+	for _, ep := range nw.endpoints {
+		eps = append(eps, ep)
+	}
+	nw.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+}
+
+// Endpoint is a processor's unbounded FIFO mailbox.
+type Endpoint struct {
+	id     model.ProcessorID
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newEndpoint(id model.ProcessorID) *Endpoint {
+	ep := &Endpoint{id: id}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// ID returns the processor this endpoint belongs to.
+func (ep *Endpoint) ID() model.ProcessorID { return ep.id }
+
+func (ep *Endpoint) enqueue(m Message) {
+	ep.mu.Lock()
+	if !ep.closed {
+		ep.queue = append(ep.queue, m)
+		ep.cond.Signal()
+	}
+	ep.mu.Unlock()
+}
+
+// Recv blocks until a message arrives or the endpoint is closed.
+func (ep *Endpoint) Recv() (Message, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for len(ep.queue) == 0 && !ep.closed {
+		ep.cond.Wait()
+	}
+	if len(ep.queue) == 0 {
+		return Message{}, false
+	}
+	m := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	return m, true
+}
+
+// TryRecv returns the next message without blocking.
+func (ep *Endpoint) TryRecv() (Message, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.queue) == 0 {
+		return Message{}, false
+	}
+	m := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	return m, true
+}
+
+// Len returns the number of queued messages.
+func (ep *Endpoint) Len() int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.queue)
+}
+
+func (ep *Endpoint) drain() {
+	ep.mu.Lock()
+	ep.queue = nil
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) close() {
+	ep.mu.Lock()
+	ep.closed = true
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}

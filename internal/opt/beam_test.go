@@ -1,0 +1,184 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+func TestLowerBoundBelowOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	models := []cost.Model{cost.SC(0.3, 1.2), cost.SC(0.05, 0.2), cost.MC(0.4, 1.0)}
+	for iter := 0; iter < 80; iter++ {
+		n := 3 + rng.Intn(5)
+		tAvail := 1 + rng.Intn(2)
+		sched := randomSchedule(rng, n, 2+rng.Intn(40), rng.Float64())
+		initial := model.FullSet(tAvail)
+		m := models[rng.Intn(len(models))]
+		optCost, err := SolveCost(m, sched, initial, tAvail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(m, sched, tAvail)
+		if lb > optCost+eps {
+			t.Fatalf("iter %d: LowerBound %g exceeds OPT %g (model %v, t %d)\nsched: %v",
+				iter, lb, optCost, m, tAvail, sched)
+		}
+	}
+}
+
+func TestBeamAboveOptimalAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := cost.SC(0.3, 1.2)
+	for iter := 0; iter < 60; iter++ {
+		n := 3 + rng.Intn(5)
+		tAvail := 1 + rng.Intn(2)
+		sched := randomSchedule(rng, n, 2+rng.Intn(40), rng.Float64())
+		initial := model.FullSet(tAvail)
+		optCost, err := SolveCost(m, sched, initial, tAvail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Beam(m, sched, initial, tAvail, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost < optCost-eps {
+			t.Fatalf("iter %d: beam %g below OPT %g — illegal schedule?", iter, res.Cost, optCost)
+		}
+		if !res.Alloc.CorrespondsTo(sched) {
+			t.Fatal("beam schedule does not correspond")
+		}
+		if err := res.Alloc.Validate(initial, tAvail); err != nil {
+			t.Fatalf("iter %d: beam schedule invalid: %v", iter, err)
+		}
+		if priced := cost.ScheduleCost(m, res.Alloc, initial); math.Abs(priced-res.Cost) > eps {
+			t.Fatalf("iter %d: beam reported %g but schedule prices at %g", iter, res.Cost, priced)
+		}
+		if got := res.Alloc.FinalScheme(initial); got != res.FinalScheme {
+			t.Fatalf("iter %d: final scheme mismatch", iter)
+		}
+	}
+}
+
+func TestBeamNearOptimal(t *testing.T) {
+	// On random instances the beam should track the exact optimum closely
+	// (within 10% with width 64 on these sizes).
+	rng := rand.New(rand.NewSource(44))
+	m := cost.SC(0.3, 1.2)
+	var worst float64 = 1
+	for iter := 0; iter < 30; iter++ {
+		sched := randomSchedule(rng, 6, 40, 0.3)
+		initial := model.NewSet(0, 1)
+		optCost, err := SolveCost(m, sched, initial, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Beam(m, sched, initial, 2, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optCost > 0 {
+			if r := res.Cost / optCost; r > worst {
+				worst = r
+			}
+		}
+	}
+	if worst > 1.10 {
+		t.Errorf("beam within %.1f%% of OPT, want <= 10%%", 100*(worst-1))
+	}
+}
+
+func TestBeamScalesBeyondExactLimit(t *testing.T) {
+	// 30 processors is far beyond the exact DP (2^30 states); beam must
+	// handle it and stay above the closed-form lower bound while beating
+	// the online algorithms.
+	rng := rand.New(rand.NewSource(45))
+	const n = 30
+	sched := randomSchedule(rng, n, 300, 0.25)
+	initial := model.NewSet(0, 1)
+	m := cost.SC(0.3, 1.2)
+
+	if _, err := SolveCost(m, sched, initial, 2); err == nil {
+		t.Fatal("exact solver unexpectedly accepted 30 processors")
+	}
+	res, err := Beam(m, sched, initial, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LowerBound(m, sched, 2)
+	if res.Cost < lb-eps {
+		t.Errorf("beam %g below the lower bound %g", res.Cost, lb)
+	}
+	for _, f := range []dom.Factory{dom.StaticFactory, dom.DynamicFactory} {
+		las, err := dom.RunFactory(f, initial, 2, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		online := cost.ScheduleCost(m, las, initial)
+		if res.Cost > online+eps {
+			t.Errorf("beam (%g) worse than an online algorithm (%g) — candidates too weak", res.Cost, online)
+		}
+	}
+}
+
+func TestBeamValidation(t *testing.T) {
+	m := cost.SC(0.3, 1.2)
+	sched := model.MustParseSchedule("r1 w2")
+	if _, err := Beam(m, sched, model.NewSet(0), 2, 8); err == nil {
+		t.Error("initial below t accepted")
+	}
+	if _, err := Beam(m, sched, model.NewSet(0, 1), 0, 8); err == nil {
+		t.Error("t = 0 accepted")
+	}
+	if _, err := Beam(cost.Model{CC: 2, CD: 1, CIO: 1}, sched, model.NewSet(0, 1), 2, 8); err == nil {
+		t.Error("invalid model accepted")
+	}
+	// Width below 1 is clamped, not rejected.
+	if _, err := Beam(m, sched, model.NewSet(0, 1), 2, 0); err != nil {
+		t.Errorf("width 0 rejected: %v", err)
+	}
+}
+
+func TestBeamEmptySchedule(t *testing.T) {
+	res, err := Beam(cost.SC(0.3, 1.2), nil, model.NewSet(0, 1), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || len(res.Alloc) != 0 || res.FinalScheme != model.NewSet(0, 1) {
+		t.Errorf("empty schedule beam: %+v", res)
+	}
+}
+
+func TestUpcomingReads(t *testing.T) {
+	sched := model.MustParseSchedule("r1 r2 r1 w0 r3")
+	up := upcomingReads(sched)
+	// After position 0 (r1) and before the write: reads r2, r1.
+	if up[0][1] != 1 || up[0][2] != 1 || up[0][3] != 0 {
+		t.Errorf("up[0] = %v", up[0])
+	}
+	// After the write at position 3: one read by 3.
+	if up[3][3] != 1 || len(up[3]) != 1 {
+		t.Errorf("up[3] = %v", up[3])
+	}
+	// After the last request: nothing.
+	if len(up[4]) != 0 {
+		t.Errorf("up[4] = %v", up[4])
+	}
+}
+
+func TestTrimAndPad(t *testing.T) {
+	if got := trimTo(model.NewSet(1, 2, 3, 4), 2); got != model.NewSet(1, 2) {
+		t.Errorf("trimTo = %v", got)
+	}
+	if got := trimTo(model.NewSet(1), 2); got != model.NewSet(1) {
+		t.Errorf("trimTo small = %v", got)
+	}
+	if got := padTo(model.NewSet(5), model.FullSet(8), 3); got.Size() != 3 || !got.Contains(5) {
+		t.Errorf("padTo = %v", got)
+	}
+}

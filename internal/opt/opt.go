@@ -1,0 +1,413 @@
+// Package opt computes the optimal offline distributed object management
+// algorithm of Huang & Wolfson (ICDE 1994), §4.1: the t-available
+// constrained DOM algorithm OPT that, knowing the whole schedule in
+// advance, produces the minimum-cost legal allocation schedule. OPT is the
+// yardstick against which the competitiveness of the online SA and DA
+// algorithms is measured.
+//
+// # Method
+//
+// The optimum is an exact dynamic program over allocation schemes. Let
+// dp[Y] be the minimum cost of servicing a prefix of the schedule such that
+// the allocation scheme after the prefix is Y (|Y| >= t). For each request
+// the DP relaxes:
+//
+//   - a read r^i is served by a single processor of the current scheme
+//     (larger execution sets only add cost and have no future effect); it
+//     either leaves the scheme unchanged or, as a saving-read, extends it
+//     to Y ∪ {i};
+//   - a write w^i may choose any execution set X with |X| >= t, which
+//     becomes the new scheme; its cost splits into a term that depends only
+//     on X and the writer, plus cc·|Y \ X'| (X' is X, or X ∪ {i} when the
+//     writer is outside X — the writer needs no invalidation message).
+//
+// The naive write relaxation is O(4^n) per request. Instead the term
+// g[Z] = min over Y of (dp[Y] + cc·|Y \ Z|) is computed for all Z at once
+// with a per-bit min-plus transform in O(n·2^n): bits are folded one at a
+// time, choosing for each whether the minimizing Y contains the bit (paying
+// cc when Z does not). With n processors and a schedule of length L the
+// whole DP runs in O(L·n·2^n) time and O(2^n) space (plus O(L·2^n) when an
+// optimal allocation schedule is reconstructed).
+//
+// The DP state space limits the universe to MaxUniverse processors; this is
+// a limit of the yardstick only — the online algorithms themselves scale to
+// model.MaxProcessors.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+)
+
+// MaxUniverse is the largest number of distinct processors the exact DP
+// accepts: 2^MaxUniverse states are materialized.
+const MaxUniverse = 16
+
+// Result is the outcome of solving for the offline optimum.
+type Result struct {
+	// Cost is COST_OPT(I, ψ): the minimum total cost over all legal,
+	// t-available allocation schedules corresponding to the schedule.
+	Cost float64
+	// Alloc is one optimal allocation schedule (nil if the solver was
+	// asked for the cost only).
+	Alloc model.AllocSchedule
+	// FinalScheme is the allocation scheme after Alloc executes.
+	FinalScheme model.Set
+}
+
+// universe maps the sparse processor ids appearing in a problem instance to
+// the dense bit indices used by the DP.
+type universe struct {
+	ids []model.ProcessorID       // bit index -> processor id
+	idx map[model.ProcessorID]int // processor id -> bit index
+}
+
+func newUniverse(sched model.Schedule, initial model.Set) (*universe, error) {
+	u := &universe{idx: make(map[model.ProcessorID]int)}
+	add := func(id model.ProcessorID) {
+		if _, ok := u.idx[id]; !ok {
+			u.idx[id] = len(u.ids)
+			u.ids = append(u.ids, id)
+		}
+	}
+	initial.ForEach(add)
+	for _, q := range sched {
+		add(q.Processor)
+	}
+	if len(u.ids) > MaxUniverse {
+		return nil, fmt.Errorf("opt: %d distinct processors exceed the exact solver's limit of %d", len(u.ids), MaxUniverse)
+	}
+	return u, nil
+}
+
+func (u *universe) n() int { return len(u.ids) }
+
+// compress maps a model.Set over sparse ids to a dense DP mask.
+func (u *universe) compress(s model.Set) (uint32, error) {
+	var m uint32
+	var err error
+	s.ForEach(func(id model.ProcessorID) {
+		i, ok := u.idx[id]
+		if !ok {
+			err = fmt.Errorf("opt: processor %d not in universe", id)
+			return
+		}
+		m |= 1 << uint(i)
+	})
+	return m, err
+}
+
+// expand maps a dense DP mask back to a model.Set.
+func (u *universe) expand(m uint32) model.Set {
+	var s model.Set
+	for v := m; v != 0; v &= v - 1 {
+		s = s.Add(u.ids[bits.TrailingZeros32(v)])
+	}
+	return s
+}
+
+var inf = math.Inf(1)
+
+// solver holds the DP arrays for one instance.
+type solver struct {
+	u       *universe
+	m       cost.Model
+	t       int
+	dp      []float64
+	scratch []float64
+	// argScratch tracks, for each Z, the Y that attains g[Z] during the
+	// per-bit transform. Allocated only when reconstruction is requested.
+	argScratch []uint32
+	// parents[k][s] is the DP state before request k that led to state s
+	// after request k, or ^0 if unreached. Allocated only for
+	// reconstruction.
+	parents [][]uint32
+}
+
+// SolveCost returns the optimal offline cost without reconstructing an
+// allocation schedule; it uses O(2^n) memory regardless of schedule length.
+func SolveCost(m cost.Model, sched model.Schedule, initial model.Set, t int) (float64, error) {
+	s, err := newSolver(m, sched, initial, t, false)
+	if err != nil {
+		return 0, err
+	}
+	return s.run(sched, initial, false)
+}
+
+// Solve returns the optimal offline cost together with one optimal
+// allocation schedule, reconstructed by traceback. Memory grows linearly
+// with the schedule length.
+func Solve(m cost.Model, sched model.Schedule, initial model.Set, t int) (*Result, error) {
+	s, err := newSolver(m, sched, initial, t, true)
+	if err != nil {
+		return nil, err
+	}
+	best, err := s.run(sched, initial, true)
+	if err != nil {
+		return nil, err
+	}
+	alloc, final := s.traceback(sched, initial)
+	return &Result{Cost: best, Alloc: alloc, FinalScheme: final}, nil
+}
+
+func newSolver(m cost.Model, sched model.Schedule, initial model.Set, t int, trace bool) (*solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("opt: availability threshold t = %d, must be at least 1", t)
+	}
+	if initial.Size() < t {
+		return nil, fmt.Errorf("opt: initial scheme %v has fewer than t = %d members", initial, t)
+	}
+	u, err := newUniverse(sched, initial)
+	if err != nil {
+		return nil, err
+	}
+	size := 1 << uint(u.n())
+	s := &solver{
+		u:       u,
+		m:       m,
+		t:       t,
+		dp:      make([]float64, size),
+		scratch: make([]float64, size),
+	}
+	if trace {
+		s.argScratch = make([]uint32, size)
+		s.parents = make([][]uint32, len(sched))
+	}
+	return s, nil
+}
+
+func (s *solver) run(sched model.Schedule, initial model.Set, trace bool) (float64, error) {
+	init, err := s.u.compress(initial)
+	if err != nil {
+		return 0, err
+	}
+	for i := range s.dp {
+		s.dp[i] = inf
+	}
+	s.dp[init] = 0
+
+	for k, q := range sched {
+		var parent []uint32
+		if trace {
+			parent = make([]uint32, len(s.dp))
+			for i := range parent {
+				parent[i] = ^uint32(0)
+			}
+			s.parents[k] = parent
+		}
+		bit, ok := s.u.idx[q.Processor]
+		if !ok {
+			return 0, fmt.Errorf("opt: processor %d missing from universe", q.Processor)
+		}
+		if q.IsRead() {
+			s.relaxRead(uint32(1)<<uint(bit), parent)
+		} else {
+			s.relaxWrite(uint32(1)<<uint(bit), parent)
+		}
+	}
+
+	best := inf
+	for _, c := range s.dp {
+		if c < best {
+			best = c
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("opt: no feasible allocation schedule (universe of %d processors, t = %d)", s.u.n(), s.t)
+	}
+	return best, nil
+}
+
+// relaxRead performs the DP transition for a read by the processor whose
+// dense mask is ibit.
+func (s *solver) relaxRead(ibit uint32, parent []uint32) {
+	m := s.m
+	localCost := m.CIO                // read served by the reader's own copy
+	remoteCost := m.CC + m.CIO + m.CD // read served by one remote data processor
+	savingCost := remoteCost + m.CIO  // remote read that also saves locally
+	next := s.scratch
+	for i := range next {
+		next[i] = inf
+	}
+	for y, c := range s.dp {
+		if math.IsInf(c, 1) {
+			continue
+		}
+		yy := uint32(y)
+		// Non-saving read: scheme unchanged.
+		var nc float64
+		if yy&ibit != 0 {
+			nc = c + localCost
+		} else {
+			nc = c + remoteCost
+		}
+		if nc < next[yy] {
+			next[yy] = nc
+			if parent != nil {
+				parent[yy] = yy
+			}
+		}
+		// Saving read: only useful when the reader is outside the scheme.
+		if yy&ibit == 0 {
+			ny := yy | ibit
+			sc := c + savingCost
+			if sc < next[ny] {
+				next[ny] = sc
+				if parent != nil {
+					parent[ny] = yy
+				}
+			}
+		}
+	}
+	s.dp, s.scratch = next, s.dp
+}
+
+// relaxWrite performs the DP transition for a write by the processor whose
+// dense mask is ibit. The new scheme is the chosen execution set X,
+// |X| >= t. The invalidation term cc·|Y \ X'| is folded over all previous
+// states at once by minTransform.
+func (s *solver) relaxWrite(ibit uint32, parent []uint32) {
+	m := s.m
+	g, garg := s.minTransform(parent != nil)
+	next := s.scratch
+	for i := range next {
+		next[i] = inf
+	}
+	for x := 0; x < len(next); x++ {
+		xx := uint32(x)
+		sz := bits.OnesCount32(xx)
+		if sz < s.t {
+			continue
+		}
+		var c float64
+		var zz uint32
+		if xx&ibit != 0 {
+			// Writer inside X: transmit to the other |X|-1 members,
+			// output at all |X|; invalidate Y\X.
+			c = float64(sz-1)*m.CD + float64(sz)*m.CIO
+			zz = xx
+		} else {
+			// Writer outside X: transmit to all |X| members, output at
+			// all; invalidate Y\X\{i}.
+			c = float64(sz) * (m.CD + m.CIO)
+			zz = xx | ibit
+		}
+		total := g[zz] + c
+		if total < next[xx] {
+			next[xx] = total
+			if parent != nil {
+				parent[xx] = garg[zz]
+			}
+		}
+	}
+	s.dp, s.scratch = next, s.dp
+}
+
+// minTransform computes g[Z] = min over Y of (dp[Y] + cc·|Y \ Z|) for every
+// mask Z, in O(n·2^n), optionally tracking the minimizing Y for traceback.
+//
+// Bits are folded one at a time. Invariant: after folding bit j, h[M] is
+// the minimum over all Y that agree with M on the unfolded bits of
+// dp[Y] + cc·(folded bits of Y outside M). For each pair of masks differing
+// only in bit j (a without, b with):
+//
+//	h'[a] = min(h[a], h[b] + cc)   // Y may contain bit j although Z does not
+//	h'[b] = min(h[b], h[a])        // Y free to contain bit j or not
+func (s *solver) minTransform(trace bool) ([]float64, []uint32) {
+	cc := s.m.CC
+	h := s.scratch[:len(s.dp)]
+	copy(h, s.dp)
+	var harg []uint32
+	if trace {
+		harg = s.argScratch
+		for i := range harg {
+			harg[i] = uint32(i)
+		}
+	}
+	n := s.u.n()
+	for j := 0; j < n; j++ {
+		bit := uint32(1) << uint(j)
+		for a := uint32(0); a < uint32(len(h)); a++ {
+			if a&bit != 0 {
+				continue
+			}
+			b := a | bit
+			ha, hb := h[a], h[b]
+			// New value at a (Z without bit j).
+			if hb+cc < ha {
+				h[a] = hb + cc
+				if trace {
+					harg[a] = harg[b]
+				}
+			}
+			// New value at b (Z with bit j): Y with or without bit j,
+			// both free.
+			if ha < hb {
+				h[b] = ha
+				if trace {
+					harg[b] = harg[a]
+				}
+			}
+		}
+	}
+	if trace {
+		// h currently aliases s.scratch; copy results out so relaxWrite
+		// can reuse scratch. g values are small (2^n), copying is cheap.
+		g := make([]float64, len(h))
+		copy(g, h)
+		ga := make([]uint32, len(h))
+		copy(ga, harg)
+		return g, ga
+	}
+	g := make([]float64, len(h))
+	copy(g, h)
+	return g, nil
+}
+
+// traceback reconstructs one optimal allocation schedule from the parent
+// tables.
+func (s *solver) traceback(sched model.Schedule, initial model.Set) (model.AllocSchedule, model.Set) {
+	// Find the best final state.
+	bestState, bestCost := uint32(0), inf
+	for y, c := range s.dp {
+		if c < bestCost {
+			bestCost = c
+			bestState = uint32(y)
+		}
+	}
+	states := make([]uint32, len(sched)+1)
+	states[len(sched)] = bestState
+	for k := len(sched) - 1; k >= 0; k-- {
+		states[k] = s.parents[k][states[k+1]]
+	}
+
+	alloc := make(model.AllocSchedule, len(sched))
+	for k, q := range sched {
+		before := s.u.expand(states[k])
+		after := s.u.expand(states[k+1])
+		if q.IsRead() {
+			if before == after {
+				// Non-saving read: local if possible, else from the
+				// smallest data processor.
+				exec := model.NewSet(q.Processor)
+				if !before.Contains(q.Processor) {
+					exec = model.NewSet(before.Min())
+				}
+				alloc[k] = model.Step{Request: q, Exec: exec}
+			} else {
+				// Saving read served by a data processor.
+				alloc[k] = model.Step{Request: q, Exec: model.NewSet(before.Min()), Saving: true}
+			}
+		} else {
+			alloc[k] = model.Step{Request: q, Exec: after}
+		}
+	}
+	return alloc, s.u.expand(states[len(sched)])
+}

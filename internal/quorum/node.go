@@ -1,0 +1,325 @@
+package quorum
+
+import (
+	"fmt"
+	"sync"
+
+	"objalloc/internal/model"
+	"objalloc/internal/netsim"
+	"objalloc/internal/storage"
+)
+
+type cmdKind int
+
+const (
+	cmdRead cmdKind = iota
+	cmdWrite
+	cmdInstall
+)
+
+type command struct {
+	kind    cmdKind
+	targets model.Set
+	data    []byte
+	version storage.Version
+	reply   chan result
+}
+
+type result struct {
+	version storage.Version
+	err     error
+}
+
+type opPhase int
+
+const (
+	phaseVotes opPhase = iota
+	phaseFetch
+	phaseAcks
+)
+
+// op is an in-flight quorum operation's state machine on its issuing node.
+type op struct {
+	kind      cmdKind
+	reply     chan result
+	targets   model.Set
+	awaiting  int
+	phase     opPhase
+	maxSeq    uint64
+	maxHolder model.ProcessorID
+	data      []byte
+	// votes records each voter's version number when read-repair is on.
+	votes map[model.ProcessorID]uint64
+}
+
+// node is one processor of the quorum cluster.
+type node struct {
+	c     *Cluster
+	id    model.ProcessorID
+	store storage.Store
+	ep    *netsim.Endpoint
+
+	cmds chan command
+	msgs chan netsim.Message
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	corr uint64
+	ops  map[uint64]*op
+}
+
+func newNode(c *Cluster, id model.ProcessorID, st storage.Store) (*node, error) {
+	ep, err := c.net.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	return &node{
+		c:     c,
+		id:    id,
+		store: st,
+		ep:    ep,
+		cmds:  make(chan command, 16),
+		msgs:  make(chan netsim.Message, 64),
+		quit:  make(chan struct{}),
+		ops:   make(map[uint64]*op),
+	}, nil
+}
+
+func (n *node) start() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			m, ok := n.ep.Recv()
+			if !ok {
+				close(n.msgs)
+				return
+			}
+			n.msgs <- m
+		}
+	}()
+	n.wg.Add(1)
+	go n.loop()
+}
+
+func (n *node) stop() {
+	close(n.quit)
+	n.wg.Wait()
+}
+
+func (n *node) submit(cmd command) bool {
+	select {
+	case n.cmds <- cmd:
+		return true
+	case <-n.quit:
+		return false
+	}
+}
+
+func (n *node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case cmd := <-n.cmds:
+			n.handleCommand(cmd)
+			n.c.track.done()
+		case m, ok := <-n.msgs:
+			if !ok {
+				return
+			}
+			n.handleMessage(m)
+			n.c.track.done()
+		}
+	}
+}
+
+func (n *node) handleCommand(cmd command) {
+	switch cmd.kind {
+	case cmdInstall:
+		// Missing-writes catch-up: install the recovered version locally.
+		if err := n.store.Put(cmd.version); err != nil {
+			cmd.reply <- result{err: err}
+			return
+		}
+		cmd.reply <- result{version: cmd.version}
+	case cmdRead, cmdWrite:
+		n.beginVoting(cmd)
+	}
+}
+
+// beginVoting starts phase one of a read or write: collect version numbers
+// from the quorum. The local vote is immediate (a catalog lookup); remote
+// votes are control-message round trips.
+func (n *node) beginVoting(cmd command) {
+	n.corr++
+	corr := uint64(n.id)<<32 | n.corr
+	o := &op{kind: cmd.kind, reply: cmd.reply, targets: cmd.targets, data: cmd.data, phase: phaseVotes, maxHolder: -1}
+	if cmd.kind == cmdRead && n.c.cfg.ReadRepair {
+		o.votes = make(map[model.ProcessorID]uint64, cmd.targets.Size())
+	}
+	n.ops[corr] = o
+	if cmd.targets.Contains(n.id) {
+		var seq uint64
+		if v, ok := n.store.Peek(); ok {
+			seq = v.Seq
+			o.maxSeq, o.maxHolder = v.Seq, n.id
+		}
+		if o.votes != nil {
+			o.votes[n.id] = seq
+		}
+	}
+	cmd.targets.ForEach(func(t model.ProcessorID) {
+		if t == n.id {
+			return
+		}
+		o.awaiting++
+		n.c.net.Send(netsim.Message{From: n.id, To: t, Type: netsim.TVoteReq, Seq: corr})
+	})
+	if o.awaiting == 0 {
+		n.advance(corr, o)
+	}
+}
+
+// advance moves an operation past the voting phase once every vote is in.
+func (n *node) advance(corr uint64, o *op) {
+	switch o.kind {
+	case cmdRead:
+		o.phase = phaseFetch
+		switch {
+		case o.maxHolder < 0:
+			n.finish(corr, o, result{err: storage.ErrNoObject})
+		case o.maxHolder == n.id:
+			v, err := n.store.Get()
+			if err == nil {
+				n.maybeRepair(o, v)
+			}
+			n.finish(corr, o, result{version: v, err: err})
+		default:
+			n.c.net.Send(netsim.Message{From: n.id, To: o.maxHolder, Type: netsim.TQuorumRead, Seq: corr})
+		}
+	case cmdWrite:
+		o.phase = phaseAcks
+		v := storage.Version{Seq: o.maxSeq + 1, Writer: int(n.id), Data: o.data}
+		if o.targets.Contains(n.id) {
+			if err := n.store.Put(v); err != nil {
+				n.finish(corr, o, result{err: err})
+				return
+			}
+		}
+		o.data = nil
+		o.maxSeq = v.Seq
+		o.targets.ForEach(func(t model.ProcessorID) {
+			if t == n.id {
+				return
+			}
+			o.awaiting++
+			n.c.net.Send(netsim.Message{From: n.id, To: t, Type: netsim.TQuorumWrite, Seq: corr, Version: v})
+		})
+		if o.awaiting == 0 {
+			n.finish(corr, o, result{version: v})
+		}
+	default:
+		panic(fmt.Sprintf("quorum: advance on %v", o.kind))
+	}
+}
+
+func (n *node) finish(corr uint64, o *op, res result) {
+	delete(n.ops, corr)
+	o.reply <- res
+}
+
+// maybeRepair pushes the freshly read version to every voter whose vote
+// revealed a stale copy (anti-entropy read repair). Fire-and-forget: the
+// pushes ride TWritePush data messages with no acknowledgement and never
+// delay the read. The local copy is repaired directly.
+func (n *node) maybeRepair(o *op, latest storage.Version) {
+	if o.votes == nil || latest.IsZero() {
+		return
+	}
+	for voter, seq := range o.votes {
+		if seq >= latest.Seq {
+			continue
+		}
+		if voter == n.id {
+			_ = n.store.Put(latest)
+			continue
+		}
+		n.c.net.Send(netsim.Message{From: n.id, To: voter, Type: netsim.TWritePush, Seq: latest.Seq, Version: latest})
+	}
+}
+
+func (n *node) handleMessage(m netsim.Message) {
+	switch m.Type {
+	case netsim.TVoteReq:
+		// Version numbers are catalog metadata: answering costs one
+		// control message, no object I/O.
+		var seq uint64
+		if v, ok := n.store.Peek(); ok {
+			seq = v.Seq
+		}
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TVoteReply, Seq: m.Seq, Version: storage.Version{Seq: seq}})
+
+	case netsim.TVoteReply:
+		o, ok := n.ops[m.Seq]
+		if !ok || o.phase != phaseVotes {
+			return
+		}
+		if m.Version.Seq > 0 && (o.maxHolder < 0 || m.Version.Seq > o.maxSeq) {
+			o.maxSeq, o.maxHolder = m.Version.Seq, m.From
+		}
+		if o.votes != nil {
+			o.votes[m.From] = m.Version.Seq
+		}
+		o.awaiting--
+		if o.awaiting == 0 {
+			n.advance(m.Seq, o)
+		}
+
+	case netsim.TQuorumRead:
+		v, err := n.store.Get()
+		reply := netsim.Message{From: n.id, To: m.From, Type: netsim.TQuorumReadReply, Seq: m.Seq}
+		if err == nil {
+			reply.Version = v
+		}
+		n.c.net.Send(reply)
+
+	case netsim.TQuorumReadReply:
+		o, ok := n.ops[m.Seq]
+		if !ok || o.phase != phaseFetch {
+			return
+		}
+		if m.Version.IsZero() {
+			n.finish(m.Seq, o, result{err: storage.ErrNoObject})
+			return
+		}
+		n.maybeRepair(o, m.Version)
+		n.finish(m.Seq, o, result{version: m.Version})
+
+	case netsim.TWritePush:
+		// Read-repair install: only move forward, never regress.
+		if v, ok := n.store.Peek(); !ok || v.Seq < m.Version.Seq {
+			_ = n.store.Put(m.Version)
+		}
+
+	case netsim.TQuorumWrite:
+		// Guard against stale installs racing ahead of repairs.
+		if v, ok := n.store.Peek(); !ok || v.Seq < m.Version.Seq {
+			if err := n.store.Put(m.Version); err != nil {
+				return
+			}
+		}
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TQuorumAck, Seq: m.Seq})
+
+	case netsim.TQuorumAck:
+		o, ok := n.ops[m.Seq]
+		if !ok || o.phase != phaseAcks {
+			return
+		}
+		o.awaiting--
+		if o.awaiting == 0 {
+			n.finish(m.Seq, o, result{version: storage.Version{Seq: o.maxSeq, Writer: int(n.id)}})
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"objalloc/internal/model"
+	"objalloc/internal/netsim"
+	"objalloc/internal/storage"
+)
+
+type cmdKind int
+
+const (
+	cmdRead cmdKind = iota
+	cmdWrite
+)
+
+type command struct {
+	kind      cmdKind
+	version   storage.Version // write payload
+	readReply chan readResult
+	writeDone chan error
+}
+
+type readResult struct {
+	version storage.Version
+	err     error
+}
+
+// node is one processor: an event loop over driver commands and network
+// messages, a local database, and (for DA members of F) a join-list.
+type node struct {
+	c     *Cluster
+	id    model.ProcessorID
+	store storage.Store
+	ep    *netsim.Endpoint
+
+	cmds chan command
+	msgs chan netsim.Message
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// corr generates correlation ids for read requests issued by this node.
+	corr uint64
+	// pending maps correlation id -> the driver waiting for a read reply.
+	pending map[uint64]chan readResult
+
+	// DA state on members of F.
+	inF      bool
+	minF     bool
+	joinList map[model.ProcessorID]bool
+	// extra is the one non-F member installed by the most recent write
+	// (initially the designated processor p); tracked by the smallest
+	// member of F, which owns its invalidation. -1 means none.
+	extra model.ProcessorID
+}
+
+func newNode(c *Cluster, id model.ProcessorID, st storage.Store) (*node, error) {
+	ep, err := c.net.Endpoint(id)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{
+		c:       c,
+		id:      id,
+		store:   st,
+		ep:      ep,
+		cmds:    make(chan command, 16),
+		msgs:    make(chan netsim.Message, 64),
+		quit:    make(chan struct{}),
+		pending: make(map[uint64]chan readResult),
+		extra:   -1,
+	}
+	if c.cfg.Protocol == DA {
+		n.inF = c.core.Contains(id)
+		if n.inF {
+			n.joinList = make(map[model.ProcessorID]bool)
+			n.minF = id == c.core.Min()
+			if n.minF {
+				n.extra = c.anchor
+			}
+		}
+	}
+	return n, nil
+}
+
+func (n *node) start() {
+	// Pump: endpoint mailbox -> event loop channel.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			m, ok := n.ep.Recv()
+			if !ok {
+				close(n.msgs)
+				return
+			}
+			n.msgs <- m
+		}
+	}()
+	n.wg.Add(1)
+	go n.loop()
+}
+
+func (n *node) stop() {
+	close(n.quit)
+	n.wg.Wait()
+}
+
+func (n *node) submit(cmd command) bool {
+	select {
+	case n.cmds <- cmd:
+		return true
+	case <-n.quit:
+		return false
+	}
+}
+
+func (n *node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case cmd := <-n.cmds:
+			n.handleCommand(cmd)
+			n.c.track.done()
+		case m, ok := <-n.msgs:
+			if !ok {
+				return
+			}
+			n.handleMessage(m)
+			n.c.track.done()
+		}
+	}
+}
+
+func (n *node) handleCommand(cmd command) {
+	switch cmd.kind {
+	case cmdRead:
+		n.startRead(cmd.readReply)
+	case cmdWrite:
+		cmd.writeDone <- n.doWrite(cmd.version)
+	}
+}
+
+// startRead begins servicing a read issued at this processor. Local copies
+// are read directly; otherwise a read request goes to the serving replica
+// and the reply handler resolves the driver's channel.
+func (n *node) startRead(reply chan readResult) {
+	if n.hasValidCopy() {
+		v, err := n.store.Get()
+		reply <- readResult{version: v, err: err}
+		return
+	}
+	server := n.serverReplica()
+	n.corr++
+	corr := uint64(n.id)<<32 | n.corr
+	n.pending[corr] = reply
+	n.c.net.Send(netsim.Message{From: n.id, To: server, Type: netsim.TReadReq, Seq: corr})
+}
+
+// hasValidCopy reports whether the local database holds the latest version.
+// Under the protocol's invariants any valid copy is the latest one (stale
+// copies are invalidated synchronously with the write), so this is just the
+// catalog check.
+func (n *node) hasValidCopy() bool { return n.store.HasCopy() }
+
+// serverReplica is the replica a remote read is sent to: a member of SA's Q
+// or of DA's F. Both protocols use the smallest id, mirroring
+// dom.MinPicker so the executed protocol matches the analytic algorithm
+// decision for decision.
+func (n *node) serverReplica() model.ProcessorID {
+	if n.c.cfg.Protocol == SA {
+		return n.c.cfg.Initial.Min()
+	}
+	return n.c.core.Min()
+}
+
+// doWrite services a write issued at this processor: output locally when
+// the writer is in the execution set, propagate the version to the rest of
+// the execution set, and — for DA members of F — carry out the invalidation
+// duty for this node's join-list.
+func (n *node) doWrite(v storage.Version) error {
+	x := n.execSet(model.ProcessorID(v.Writer))
+	if x.Contains(n.id) {
+		if err := n.store.Put(v); err != nil {
+			return fmt.Errorf("sim: write at %d: %w", n.id, err)
+		}
+	}
+	x.ForEach(func(q model.ProcessorID) {
+		if q != n.id {
+			n.c.net.Send(netsim.Message{From: n.id, To: q, Type: netsim.TWritePush, Seq: v.Seq, Version: v})
+		}
+	})
+	if n.inF {
+		n.invalidationDuty(model.ProcessorID(v.Writer), x)
+	}
+	return nil
+}
+
+// execSet is the execution set of a write issued by writer (§4.2.1/§4.2.2).
+func (n *node) execSet(writer model.ProcessorID) model.Set {
+	if n.c.cfg.Protocol == SA {
+		return n.c.cfg.Initial
+	}
+	if n.c.core.Contains(writer) || writer == n.c.anchor {
+		return n.c.core.Add(n.c.anchor)
+	}
+	return n.c.core.Add(writer)
+}
+
+// invalidationDuty sends 'invalidate' control messages to the processors
+// whose copy the write with execution set x made obsolete, as far as this
+// F-member is responsible for them: the joiners recorded on its join-list
+// (except the writer and the members of x, which received the new version),
+// and — on the smallest member of F — the non-F processor installed by the
+// previous write. Summed over F, the messages sent are exactly the paper's
+// |Y \ X| invalidations.
+func (n *node) invalidationDuty(writer model.ProcessorID, x model.Set) {
+	for joiner := range n.joinList {
+		if joiner != writer && !x.Contains(joiner) {
+			n.c.net.Send(netsim.Message{From: n.id, To: joiner, Type: netsim.TInvalidate})
+		}
+		delete(n.joinList, joiner)
+	}
+	if n.minF {
+		if n.extra >= 0 && n.extra != writer && !x.Contains(n.extra) {
+			n.c.net.Send(netsim.Message{From: n.id, To: n.extra, Type: netsim.TInvalidate})
+		}
+		n.extra = x.Diff(n.c.core).Min()
+	}
+}
+
+func (n *node) handleMessage(m netsim.Message) {
+	switch m.Type {
+	case netsim.TReadReq:
+		n.serveRead(m)
+	case netsim.TReadReply:
+		n.finishRead(m)
+	case netsim.TWritePush:
+		n.applyPush(m)
+	case netsim.TInvalidate:
+		// The local copy is obsolete; discard it. Invalidation is a
+		// catalog operation, no object I/O.
+		_ = n.store.Invalidate()
+	}
+}
+
+// serveRead answers a remote read request: input the object from the local
+// database and transfer it to the reader. A DA member of F also records the
+// reader on its join-list — the reader is about to save the copy and join
+// the allocation scheme (§4.2.2); the join information rides on the read
+// request, costing no extra message.
+func (n *node) serveRead(m netsim.Message) {
+	v, err := n.store.Get()
+	if err != nil {
+		// No valid copy (possible only under failures): reply with the
+		// zero version; the reader surfaces the error.
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TReadReply, Seq: m.Seq})
+		return
+	}
+	if n.inF {
+		n.joinList[m.From] = true
+	}
+	n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TReadReply, Seq: m.Seq, Version: v})
+}
+
+// finishRead completes a read this processor issued remotely. Under DA the
+// copy is saved to the local database — the saving-read that joins the
+// allocation scheme. Under SA the object only reaches main memory.
+func (n *node) finishRead(m netsim.Message) {
+	reply, ok := n.pending[m.Seq]
+	if !ok {
+		return // stale reply after failover reset; drop
+	}
+	delete(n.pending, m.Seq)
+	if m.Version.IsZero() {
+		reply <- readResult{err: storage.ErrNoObject}
+		return
+	}
+	if n.c.cfg.Protocol == DA {
+		if err := n.store.Put(m.Version); err != nil {
+			reply <- readResult{err: err}
+			return
+		}
+	}
+	reply <- readResult{version: m.Version}
+}
+
+// applyPush applies a propagated write. A DA member of F additionally
+// carries out its invalidation duty.
+func (n *node) applyPush(m netsim.Message) {
+	if err := n.store.Put(m.Version); err != nil {
+		return
+	}
+	if n.inF {
+		n.invalidationDuty(model.ProcessorID(m.Version.Writer), n.execSet(model.ProcessorID(m.Version.Writer)))
+	}
+}

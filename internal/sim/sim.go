@@ -1,0 +1,408 @@
+// Package sim executes the SA and DA algorithms as real message-passing
+// protocols over the simulated network (package netsim) and per-processor
+// local databases (package storage), rather than as the abstract
+// execution-set bookkeeping of package dom.
+//
+// Each processor is a goroutine that owns a local database and a mailbox
+// and reacts to protocol messages: read requests, object transfers, write
+// propagations, and invalidations. DA's join-lists (§2, §4.2.2) are real
+// per-processor state on the members of F; invalidation control messages
+// really flow. Every message is billed by the network and every local
+// database input/output is counted by the store, so an executed schedule
+// yields an integer cost accounting (cost.Counts) that integration tests
+// compare — exactly, not approximately — against the analytic cost model
+// applied to the corresponding dom allocation schedule. That equality is
+// experiment E15 and is what justifies trusting the analytic experiments.
+//
+// The driver issues writes in a total order (the paper assumes a
+// concurrency-control mechanism, §3.1); reads between consecutive writes
+// may execute concurrently (RunConcurrent), and every read observes the
+// version written by the most recent write — asserted by the
+// linearizability tests.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/netsim"
+	"objalloc/internal/storage"
+)
+
+// Protocol selects which DOM algorithm the cluster executes.
+type Protocol int
+
+const (
+	// SA is read-one-write-all static allocation (§4.2.1).
+	SA Protocol = iota
+	// DA is the paper's dynamic allocation algorithm (§4.2.2).
+	DA
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case SA:
+		return "SA"
+	case DA:
+		return "DA"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config describes a cluster.
+type Config struct {
+	// N is the number of processors (ids 0..N-1).
+	N int
+	// T is the availability threshold.
+	T int
+	// Protocol selects SA or DA.
+	Protocol Protocol
+	// Initial is the initial allocation scheme: SA's fixed Q, or, for DA,
+	// the union F ∪ {p} with F the T-1 smallest members and p the next —
+	// the same convention as dom.NewDynamic, so the executed protocol and
+	// the analytic algorithm make identical choices.
+	Initial model.Set
+	// NewStore builds the local database of one processor; nil means
+	// in-memory stores.
+	NewStore func(id model.ProcessorID) (storage.Store, error)
+	// AdoptStores skips preloading and counter resets: the stores handed
+	// in by NewStore already hold a consistent state (the failback path
+	// from quorum mode uses this — members of the initial scheme must
+	// hold the latest version, everyone else must hold none).
+	AdoptStores bool
+	// FirstSeq is the version number the initial scheme currently holds;
+	// writes are numbered from FirstSeq+1. Zero means a fresh cluster
+	// (initial version 1).
+	FirstSeq uint64
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("sim: N = %d", c.N)
+	}
+	if c.T < 1 {
+		return fmt.Errorf("sim: T = %d", c.T)
+	}
+	if c.Initial.Size() < c.T {
+		return fmt.Errorf("sim: initial scheme %v smaller than T = %d", c.Initial, c.T)
+	}
+	if c.Protocol == DA && c.T < 2 {
+		// DA's distributed protocol needs a non-empty core F = t-1
+		// processors to serve remote reads; the paper assumes t >= 2.
+		return fmt.Errorf("sim: DA requires T >= 2, got %d", c.T)
+	}
+	if !c.Initial.SubsetOf(model.FullSet(c.N)) {
+		return fmt.Errorf("sim: initial scheme %v outside processors 0..%d", c.Initial, c.N-1)
+	}
+	return nil
+}
+
+// Cluster is a running distributed system executing one protocol for one
+// replicated object.
+type Cluster struct {
+	cfg    Config
+	core   model.Set         // DA's F (empty for SA)
+	anchor model.ProcessorID // DA's designated p (unused for SA)
+	net    *netsim.Network
+	nodes  []*node
+
+	mu      sync.Mutex
+	nextSeq uint64 // write sequencer (the concurrency-control total order)
+	track   *tracker
+
+	closeOnce sync.Once
+}
+
+// New builds and starts the cluster: stores are created, the initial
+// allocation scheme is preloaded with version 1 of the object, counters are
+// zeroed, and every processor's event loop is running.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	firstSeq := cfg.FirstSeq
+	if firstSeq == 0 {
+		firstSeq = 1
+	}
+	c := &Cluster{cfg: cfg, net: netsim.New(cfg.N), track: newTracker(), nextSeq: firstSeq}
+	if cfg.Protocol == DA {
+		for k := 0; k < cfg.T-1; k++ {
+			c.core = c.core.Add(cfg.Initial.Member(k))
+		}
+		c.anchor = cfg.Initial.Member(cfg.T - 1)
+	}
+	// Every delivered message is one unit of outstanding work until its
+	// handler finishes.
+	c.net.Trace(func(_ netsim.Message, delivered bool) {
+		if delivered {
+			c.track.add(1)
+		}
+	})
+
+	newStore := cfg.NewStore
+	if newStore == nil {
+		newStore = func(model.ProcessorID) (storage.Store, error) { return storage.NewMem(), nil }
+	}
+	initialVersion := storage.Version{Seq: 1, Writer: -1, Data: []byte("initial")}
+	for i := 0; i < cfg.N; i++ {
+		id := model.ProcessorID(i)
+		st, err := newStore(id)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("sim: store for %d: %w", id, err)
+		}
+		if !cfg.AdoptStores {
+			if cfg.Initial.Contains(id) {
+				if err := st.Put(initialVersion); err != nil {
+					c.Close()
+					return nil, fmt.Errorf("sim: preload %d: %w", id, err)
+				}
+			}
+			st.ResetStats()
+		}
+		n, err := newNode(c, id, st)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	for _, n := range c.nodes {
+		n.start()
+	}
+	return c, nil
+}
+
+// errClusterClosed is returned by operations on a closed cluster.
+var errClusterClosed = errors.New("sim: cluster closed")
+
+// Read executes a read request issued by processor p and returns the
+// version it observed. Reads may be issued concurrently.
+func (c *Cluster) Read(p model.ProcessorID) (storage.Version, error) {
+	n, err := c.node(p)
+	if err != nil {
+		return storage.Version{}, err
+	}
+	reply := make(chan readResult, 1)
+	c.track.add(1)
+	if !n.submit(command{kind: cmdRead, readReply: reply}) {
+		c.track.done()
+		return storage.Version{}, errClusterClosed
+	}
+	res := <-reply
+	return res.version, res.err
+}
+
+// Write executes a write request issued by processor p, assigning it the
+// next position in the write total order. It returns the version written.
+// Write blocks until the whole propagation-and-invalidation cascade has
+// quiesced, so a subsequent request observes the new allocation scheme —
+// the sequential semantics of the paper's schedules.
+func (c *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, error) {
+	n, err := c.node(p)
+	if err != nil {
+		return storage.Version{}, err
+	}
+	c.mu.Lock()
+	c.nextSeq++
+	v := storage.Version{Seq: c.nextSeq, Writer: int(p), Data: data}
+	c.mu.Unlock()
+	done := make(chan error, 1)
+	c.track.add(1)
+	if !n.submit(command{kind: cmdWrite, version: v, writeDone: done}) {
+		c.track.done()
+		return storage.Version{}, errClusterClosed
+	}
+	if err := <-done; err != nil {
+		return storage.Version{}, err
+	}
+	c.track.wait()
+	return v, nil
+}
+
+// Run executes a schedule sequentially and returns the per-request observed
+// versions for reads (writes contribute their created version).
+func (c *Cluster) Run(sched model.Schedule) ([]storage.Version, error) {
+	out := make([]storage.Version, len(sched))
+	for i, q := range sched {
+		var err error
+		if q.IsRead() {
+			out[i], err = c.Read(q.Processor)
+		} else {
+			out[i], err = c.Write(q.Processor, []byte(fmt.Sprintf("w%d@%d", q.Processor, i)))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: request %d (%v): %w", i, q, err)
+		}
+	}
+	return out, nil
+}
+
+// RunConcurrent executes the schedule with the paper's §3.1 concurrency:
+// writes are totally ordered, but each maximal run of consecutive reads is
+// issued concurrently (one goroutine per read) and joined before the next
+// write. Returned versions appear in schedule order.
+func (c *Cluster) RunConcurrent(sched model.Schedule) ([]storage.Version, error) {
+	out := make([]storage.Version, len(sched))
+	errs := make([]error, len(sched))
+	i := 0
+	for i < len(sched) {
+		if sched[i].IsWrite() {
+			v, err := c.Write(sched[i].Processor, []byte(fmt.Sprintf("w%d@%d", sched[i].Processor, i)))
+			if err != nil {
+				return nil, fmt.Errorf("sim: request %d (%v): %w", i, sched[i], err)
+			}
+			out[i] = v
+			i++
+			continue
+		}
+		j := i
+		for j < len(sched) && sched[j].IsRead() {
+			j++
+		}
+		var wg sync.WaitGroup
+		for k := i; k < j; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				out[k], errs[k] = c.Read(sched[k].Processor)
+			}(k)
+		}
+		wg.Wait()
+		for k := i; k < j; k++ {
+			if errs[k] != nil {
+				return nil, fmt.Errorf("sim: request %d (%v): %w", k, sched[k], errs[k])
+			}
+		}
+		// Quiesce so saving-read joins settle before the next write.
+		c.track.wait()
+		i = j
+	}
+	return out, nil
+}
+
+// Counts returns the integer cost accounting accumulated so far: control
+// and data messages from the network, I/Os summed over all local databases.
+func (c *Cluster) Counts() cost.Counts {
+	st := c.net.Stats()
+	counts := cost.Counts{Control: st.ControlSent, Data: st.DataSent}
+	for _, n := range c.nodes {
+		counts.IO += n.store.Stats().Total()
+	}
+	return counts
+}
+
+// Cost prices the accumulated accounting under the model.
+func (c *Cluster) Cost(m cost.Model) float64 { return c.Counts().Price(m) }
+
+// ResetCounts zeroes the message and I/O counters (e.g. between phases).
+func (c *Cluster) ResetCounts() {
+	c.net.ResetStats()
+	for _, n := range c.nodes {
+		n.store.ResetStats()
+	}
+}
+
+// Scheme returns the current allocation scheme: the processors whose local
+// database holds the latest version. It quiesces first so in-flight
+// invalidations settle.
+func (c *Cluster) Scheme() model.Set {
+	c.track.wait()
+	c.mu.Lock()
+	latest := c.nextSeq
+	c.mu.Unlock()
+	var s model.Set
+	for _, n := range c.nodes {
+		if v, ok := n.store.Peek(); ok && v.Seq == latest {
+			s = s.Add(n.id)
+		}
+	}
+	return s
+}
+
+// NodeLoad is one processor's share of the work.
+type NodeLoad struct {
+	ID model.ProcessorID
+	// IO counts the processor's local-database inputs and outputs.
+	IO storage.IOStats
+	// Net counts the processor's sent/received messages.
+	Net netsim.NodeStats
+}
+
+// Loads returns per-processor accounting — who actually carried the
+// traffic and the I/O. Useful for load-balance analysis of the "arbitrary
+// processor of Q" policy.
+func (c *Cluster) Loads() []NodeLoad {
+	out := make([]NodeLoad, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = NodeLoad{ID: n.id, IO: n.store.Stats(), Net: c.net.NodeStatsOf(n.id)}
+	}
+	return out
+}
+
+// Network exposes the underlying network for fault injection in tests and
+// experiments.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Close stops all processors and the network.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.net.Close()
+		for _, n := range c.nodes {
+			n.stop()
+		}
+	})
+}
+
+func (c *Cluster) node(p model.ProcessorID) (*node, error) {
+	if int(p) < 0 || int(p) >= len(c.nodes) {
+		return nil, fmt.Errorf("sim: unknown processor %d", p)
+	}
+	return c.nodes[p], nil
+}
+
+// tracker counts outstanding work items (delivered-but-unprocessed messages
+// and in-flight driver commands) so the driver can wait for the system to
+// quiesce.
+type tracker struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newTracker() *tracker {
+	t := &tracker{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+func (t *tracker) add(k int) {
+	t.mu.Lock()
+	t.n += k
+	t.mu.Unlock()
+}
+
+func (t *tracker) done() {
+	t.mu.Lock()
+	t.n--
+	if t.n == 0 {
+		t.cond.Broadcast()
+	}
+	if t.n < 0 {
+		panic("sim: tracker underflow")
+	}
+	t.mu.Unlock()
+}
+
+func (t *tracker) wait() {
+	t.mu.Lock()
+	for t.n != 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.Stddev != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+	if s.P50 != 3.5 || s.P99 != 3.5 {
+		t.Errorf("quantiles = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %g", s.Stddev)
+	}
+	if s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := quantile(sorted, 0.5); got != 5 {
+		t.Errorf("median of {0,10} = %g", got)
+	}
+	if got := quantile(sorted, 0.9); math.Abs(got-9) > 1e-12 {
+		t.Errorf("p90 of {0,10} = %g", got)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Bound the sample so sums cannot overflow; the summary's
+		// contract assumes finite arithmetic.
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Min <= s.P50 && s.P50 <= s.Max && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "ratio", "bound")
+	tbl.AddRow("SA", 2.5, "1+cc+cd")
+	tbl.AddRow("DA", 1.9123456, "2+2cc")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "ratio") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "2.5") || !strings.Contains(lines[3], "1.912") {
+		t.Errorf("rows:\n%s", out)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("a", "long-header")
+	tbl.AddRow("wide-cell-content", 1)
+	out := tbl.String()
+	lines := strings.Split(out, "\n")
+	// The separator must be at least as long as the widest row.
+	if len(lines[1]) < len("wide-cell-content") {
+		t.Errorf("separator too short:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("alg", "ratio")
+	tbl.AddRow("SA", 2.5)
+	md := tbl.Markdown()
+	want := "| alg | ratio |\n|---|---|\n| SA | 2.5 |\n"
+	if md != want {
+		t.Errorf("Markdown = %q, want %q", md, want)
+	}
+}

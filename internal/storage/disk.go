@@ -1,0 +1,323 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Disk is a Store backed by an append-only log file. Every Put appends a
+// checksummed record and fsyncs (when Sync is enabled); Invalidate appends
+// a tombstone. On open, the log is scanned and the last valid record wins —
+// a torn or corrupted tail (e.g. from a crash mid-write) is truncated, so
+// recovery is exact: the store comes back with precisely the last durably
+// written state.
+//
+// Record format (little endian):
+//
+//	magic   uint32  = recordMagic
+//	kind    uint8   (recordPut | recordInvalidate)
+//	seq     uint64
+//	writer  int64
+//	dataLen uint32
+//	data    [dataLen]byte
+//	crc     uint32  (CRC-32C of everything above except magic)
+//
+// When the log exceeds CompactAfter bytes, Put compacts it to a single
+// record holding the current state.
+type Disk struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	version Version
+	valid   bool
+	stats   IOStats
+	size    int64
+	sync    bool
+
+	// CompactAfter is the log size in bytes that triggers compaction on
+	// the next Put. Zero means the default (1 MiB).
+	CompactAfter int64
+}
+
+const (
+	recordMagic      = 0x0b1ec7a1
+	recordPut        = byte(1)
+	recordInvalidate = byte(2)
+
+	defaultCompactAfter = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DiskOptions configures OpenDisk.
+type DiskOptions struct {
+	// Sync forces an fsync after every append. Slower, but a crash can
+	// then never lose an acknowledged Put.
+	Sync bool
+	// CompactAfter overrides the compaction threshold in bytes.
+	CompactAfter int64
+}
+
+// OpenDisk opens (or creates) the log file at path and recovers the latest
+// durable version from it.
+func OpenDisk(path string, opts DiskOptions) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create log dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	d := &Disk{path: path, f: f, sync: opts.Sync, CompactAfter: opts.CompactAfter}
+	if d.CompactAfter == 0 {
+		d.CompactAfter = defaultCompactAfter
+	}
+	if err := d.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover scans the log, applies every valid record in order, and truncates
+// any invalid tail.
+func (d *Disk) recover() error {
+	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: seek: %w", err)
+	}
+	var offset int64
+	for {
+		rec, n, err := readRecord(d.f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: truncate it away and stop.
+			break
+		}
+		switch rec.kind {
+		case recordPut:
+			d.version = Version{Seq: rec.seq, Writer: int(rec.writer), Data: rec.data}
+			d.valid = true
+		case recordInvalidate:
+			d.version = Version{}
+			d.valid = false
+		}
+		offset += int64(n)
+	}
+	if err := d.f.Truncate(offset); err != nil {
+		return fmt.Errorf("storage: truncate corrupt tail: %w", err)
+	}
+	if _, err := d.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: seek to tail: %w", err)
+	}
+	d.size = offset
+	return nil
+}
+
+type record struct {
+	kind   byte
+	seq    uint64
+	writer int64
+	data   []byte
+}
+
+func readRecord(r io.Reader) (record, int, error) {
+	var hdr [4 + 1 + 8 + 8 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, io.ErrUnexpectedEOF
+		}
+		return record{}, 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+		return record{}, 0, fmt.Errorf("storage: bad record magic")
+	}
+	rec := record{
+		kind:   hdr[4],
+		seq:    binary.LittleEndian.Uint64(hdr[5:13]),
+		writer: int64(binary.LittleEndian.Uint64(hdr[13:21])),
+	}
+	dataLen := binary.LittleEndian.Uint32(hdr[21:25])
+	if dataLen > 1<<30 {
+		return record{}, 0, fmt.Errorf("storage: implausible record length %d", dataLen)
+	}
+	rec.data = make([]byte, dataLen)
+	if _, err := io.ReadFull(r, rec.data); err != nil {
+		return record{}, 0, io.ErrUnexpectedEOF
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return record{}, 0, io.ErrUnexpectedEOF
+	}
+	crc := crc32.New(crcTable)
+	crc.Write(hdr[4:25])
+	crc.Write(rec.data)
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc.Sum32() {
+		return record{}, 0, fmt.Errorf("storage: record checksum mismatch")
+	}
+	n := len(hdr) + len(rec.data) + 4
+	return rec, n, nil
+}
+
+func appendRecord(w io.Writer, rec record) (int, error) {
+	var hdr [4 + 1 + 8 + 8 + 4]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
+	hdr[4] = rec.kind
+	binary.LittleEndian.PutUint64(hdr[5:13], rec.seq)
+	binary.LittleEndian.PutUint64(hdr[13:21], uint64(rec.writer))
+	binary.LittleEndian.PutUint32(hdr[21:25], uint32(len(rec.data)))
+	crc := crc32.New(crcTable)
+	crc.Write(hdr[4:25])
+	crc.Write(rec.data)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(rec.data); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(crcBuf[:]); err != nil {
+		return 0, err
+	}
+	return len(hdr) + len(rec.data) + 4, nil
+}
+
+// Put implements Store.
+func (d *Disk) Put(v Version) error {
+	if v.IsZero() {
+		return fmt.Errorf("storage: Put of zero version")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.size >= d.CompactAfter {
+		if err := d.compactLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := appendRecord(d.f, record{kind: recordPut, seq: v.Seq, writer: int64(v.Writer), data: v.Data})
+	if err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if d.sync {
+		if err := d.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	d.size += int64(n)
+	d.version = cloneVersion(v)
+	d.valid = true
+	d.stats.Outputs++
+	return nil
+}
+
+// Get implements Store.
+func (d *Disk) Get() (Version, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Inputs++
+	if !d.valid {
+		return Version{}, ErrNoObject
+	}
+	return cloneVersion(d.version), nil
+}
+
+// Invalidate implements Store.
+func (d *Disk) Invalidate() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.valid {
+		return nil
+	}
+	n, err := appendRecord(d.f, record{kind: recordInvalidate})
+	if err != nil {
+		return fmt.Errorf("storage: append tombstone: %w", err)
+	}
+	if d.sync {
+		if err := d.f.Sync(); err != nil {
+			return fmt.Errorf("storage: sync: %w", err)
+		}
+	}
+	d.size += int64(n)
+	d.version = Version{}
+	d.valid = false
+	return nil
+}
+
+// HasCopy implements Store.
+func (d *Disk) HasCopy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.valid
+}
+
+// Peek implements Store.
+func (d *Disk) Peek() (Version, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.valid {
+		return Version{}, false
+	}
+	return cloneVersion(d.version), true
+}
+
+// Stats implements Store.
+func (d *Disk) Stats() IOStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats implements Store.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = IOStats{}
+}
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}
+
+// compactLocked rewrites the log as a single record holding the current
+// state. Called with d.mu held.
+func (d *Disk) compactLocked() error {
+	tmp := d.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	var size int64
+	if d.valid {
+		n, err := appendRecord(f, record{kind: recordPut, seq: d.version.Seq, writer: int64(d.version.Writer), data: d.version.Data})
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("storage: compact write: %w", err)
+		}
+		size = int64(n)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: compact sync: %w", err)
+	}
+	if err := os.Rename(tmp, d.path); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: compact rename: %w", err)
+	}
+	old := d.f
+	d.f = f
+	d.size = size
+	if _, err := d.f.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: compact seek: %w", err)
+	}
+	return old.Close()
+}

@@ -1,0 +1,59 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDiskRecovery writes a version, then appends arbitrary garbage to the
+// log and re-opens it: recovery must never panic, never corrupt the
+// durable prefix, and always leave the store writable.
+func FuzzDiskRecovery(f *testing.F) {
+	f.Add([]byte{}, []byte("payload"))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, []byte("x"))
+	f.Add(bytes.Repeat([]byte{0xa1, 0xc7, 0x1e, 0x0b}, 8), []byte("magic-ish"))
+	f.Fuzz(func(t *testing.T, garbage, payload []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "obj.log")
+		d, err := OpenDisk(path, DiskOptions{Sync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put(Version{Seq: 7, Writer: 1, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+
+		fh, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh.Write(garbage)
+		fh.Close()
+
+		re, err := OpenDisk(path, DiskOptions{})
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		defer re.Close()
+		v, err := re.Get()
+		if err != nil {
+			// The appended bytes could only remove state via a valid
+			// tombstone record, which requires a correct checksum; treat
+			// a lost version as corruption unless the garbage really
+			// forged one (astronomically unlikely but checkable).
+			t.Fatalf("durable version lost: %v", err)
+		}
+		if v.Seq == 7 && !bytes.Equal(v.Data, payload) {
+			t.Fatalf("durable version corrupted: %+v", v)
+		}
+		// v.Seq != 7 can only happen if the fuzzer forged a checksummed
+		// record; the store must still be internally consistent, which
+		// the write probe below exercises.
+		if err := re.Put(Version{Seq: 8, Writer: 2, Data: []byte("post")}); err != nil {
+			t.Fatalf("store not writable after recovery: %v", err)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+// Package storage implements the local database that every processor of the
+// distributed system owns (§1.2 of Huang & Wolfson, ICDE 1994): a versioned
+// store for the replicated object, with the I/O accounting the paper's cost
+// model charges — one unit per input (read) or output (write) of the object.
+//
+// Two implementations are provided. Mem keeps the object in memory and is
+// what the simulators use for speed. Disk persists every output to an
+// append-only log with checksummed, length-prefixed records and recovers
+// the latest durable version on open, so a processor restart does not lose
+// the replica — the property that makes the allocation scheme meaningful as
+// an availability mechanism.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Version is one version of the replicated object. Versions are totally
+// ordered by Seq; the concurrency-control mechanism the paper assumes
+// (§3.1) assigns each write the next sequence number.
+type Version struct {
+	// Seq is the global sequence number of the write that created this
+	// version. Seq 0 is reserved for "no version".
+	Seq uint64
+	// Writer is the processor that issued the write.
+	Writer int
+	// Data is the object content.
+	Data []byte
+}
+
+// IsZero reports whether v is the absent version.
+func (v Version) IsZero() bool { return v.Seq == 0 }
+
+// ErrNoObject is returned by Get when the local database holds no valid
+// copy of the object (never stored, or invalidated).
+var ErrNoObject = errors.New("storage: no valid local copy of the object")
+
+// Store is a processor's local database, restricted to the single object
+// the paper's model manages. Implementations must be safe for concurrent
+// use: reads may execute concurrently with each other (§3.1).
+type Store interface {
+	// Put outputs a version of the object to the local database,
+	// replacing any previous copy. It costs one output I/O.
+	Put(v Version) error
+	// Get inputs the latest locally stored version of the object.
+	// It costs one input I/O. It returns ErrNoObject if the local copy is
+	// absent or invalidated.
+	Get() (Version, error)
+	// Invalidate discards the local copy (the effect of an 'invalidate'
+	// control message). Invalidation is a metadata operation and costs no
+	// object I/O in the paper's model.
+	Invalidate() error
+	// HasCopy reports whether a valid local copy exists, without touching
+	// the object itself (no I/O charged — this is catalog metadata).
+	HasCopy() bool
+	// Peek returns the current version without charging an I/O. It is for
+	// harness introspection (computing the cluster's allocation scheme,
+	// preloading checks) — protocol code must use Get so costs are billed.
+	Peek() (Version, bool)
+	// Stats returns the cumulative I/O counters.
+	Stats() IOStats
+	// ResetStats zeroes the I/O counters, e.g. after preloading the
+	// initial allocation scheme or between experiment phases.
+	ResetStats()
+	// Close releases resources.
+	Close() error
+}
+
+// IOStats counts the primitive local-database operations. Inputs+Outputs is
+// the quantity the cost model multiplies by cio.
+type IOStats struct {
+	Inputs  int // object read from the local database
+	Outputs int // object written to the local database
+}
+
+// Total returns Inputs + Outputs: the number of cio-priced operations.
+func (s IOStats) Total() int { return s.Inputs + s.Outputs }
+
+// Mem is an in-memory Store.
+type Mem struct {
+	mu      sync.RWMutex
+	version Version
+	valid   bool
+	stats   IOStats
+}
+
+// NewMem returns an empty in-memory local database.
+func NewMem() *Mem { return &Mem{} }
+
+// Put implements Store.
+func (m *Mem) Put(v Version) error {
+	if v.IsZero() {
+		return fmt.Errorf("storage: Put of zero version")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.version = cloneVersion(v)
+	m.valid = true
+	m.stats.Outputs++
+	return nil
+}
+
+// Get implements Store.
+func (m *Mem) Get() (Version, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Inputs++
+	if !m.valid {
+		return Version{}, ErrNoObject
+	}
+	return cloneVersion(m.version), nil
+}
+
+// Invalidate implements Store.
+func (m *Mem) Invalidate() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.valid = false
+	m.version = Version{}
+	return nil
+}
+
+// HasCopy implements Store.
+func (m *Mem) HasCopy() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.valid
+}
+
+// Peek implements Store.
+func (m *Mem) Peek() (Version, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if !m.valid {
+		return Version{}, false
+	}
+	return cloneVersion(m.version), true
+}
+
+// Stats implements Store.
+func (m *Mem) Stats() IOStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// ResetStats implements Store.
+func (m *Mem) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = IOStats{}
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+func cloneVersion(v Version) Version {
+	out := v
+	if v.Data != nil {
+		out.Data = append([]byte(nil), v.Data...)
+	}
+	return out
+}

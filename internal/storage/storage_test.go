@@ -1,0 +1,540 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// storeFactory builds a fresh store for the shared conformance tests.
+type storeFactory func(t *testing.T) Store
+
+func memFactory(t *testing.T) Store { return NewMem() }
+
+func diskFactory(t *testing.T) Store {
+	t.Helper()
+	d, err := OpenDisk(filepath.Join(t.TempDir(), "obj.log"), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func factories() map[string]storeFactory {
+	return map[string]storeFactory{"mem": memFactory, "disk": diskFactory}
+}
+
+func TestEmptyStore(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if s.HasCopy() {
+				t.Error("empty store HasCopy = true")
+			}
+			if _, err := s.Get(); !errors.Is(err, ErrNoObject) {
+				t.Errorf("Get on empty store: %v, want ErrNoObject", err)
+			}
+			// The failed Get still counted as an input attempt? No: the
+			// paper charges I/O for inputting the object; an absent object
+			// is a catalog miss. We charge it anyway as an input probe —
+			// assert the documented behaviour: exactly one input counted.
+			if got := s.Stats().Inputs; got != 1 {
+				t.Errorf("Inputs = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			v := Version{Seq: 3, Writer: 2, Data: []byte("object-state")}
+			if err := s.Put(v); err != nil {
+				t.Fatal(err)
+			}
+			if !s.HasCopy() {
+				t.Error("HasCopy = false after Put")
+			}
+			got, err := s.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Seq != 3 || got.Writer != 2 || !bytes.Equal(got.Data, v.Data) {
+				t.Errorf("Get = %+v", got)
+			}
+			st := s.Stats()
+			if st.Outputs != 1 || st.Inputs != 1 || st.Total() != 2 {
+				t.Errorf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			for seq := uint64(1); seq <= 5; seq++ {
+				if err := s.Put(Version{Seq: seq, Writer: 1, Data: []byte{byte(seq)}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := s.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Seq != 5 {
+				t.Errorf("Seq = %d, want 5", got.Seq)
+			}
+		})
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if err := s.Put(Version{Seq: 1, Writer: 0, Data: []byte("x")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Invalidate(); err != nil {
+				t.Fatal(err)
+			}
+			if s.HasCopy() {
+				t.Error("HasCopy = true after Invalidate")
+			}
+			if _, err := s.Get(); !errors.Is(err, ErrNoObject) {
+				t.Errorf("Get after Invalidate: %v", err)
+			}
+			// Invalidating twice is harmless.
+			if err := s.Invalidate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPutZeroVersionRejected(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			if err := mk(t).Put(Version{}); err == nil {
+				t.Error("Put of zero version accepted")
+			}
+		})
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			data := []byte("mutate-me")
+			if err := s.Put(Version{Seq: 1, Writer: 0, Data: data}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Data[0] = 'X'
+			again, err := s.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Data[0] != 'm' {
+				t.Error("Get exposed internal buffer")
+			}
+			// Mutating the caller's slice after Put must not affect the store.
+			data[0] = 'Z'
+			final, _ := s.Get()
+			if final.Data[0] != 'm' {
+				t.Error("Put aliased caller buffer")
+			}
+		})
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if err := s.Put(Version{Seq: 1, Writer: 0, Data: []byte("shared")}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 16; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 50; j++ {
+						if _, err := s.Get(); err != nil {
+							t.Errorf("concurrent Get: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if got := s.Stats().Inputs; got != 16*50 {
+				t.Errorf("Inputs = %d, want %d", got, 16*50)
+			}
+		})
+	}
+}
+
+func TestDiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obj.log")
+	d, err := OpenDisk(path, DiskOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := d.Put(Version{Seq: seq, Writer: int(seq % 3), Data: []byte(fmt.Sprintf("v%d", seq))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 10 || string(got.Data) != "v10" {
+		t.Errorf("recovered %+v", got)
+	}
+}
+
+func TestDiskRecoveryAfterInvalidate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(Version{Seq: 1, Writer: 0, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	re, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.HasCopy() {
+		t.Error("invalidated copy resurrected by recovery")
+	}
+}
+
+func TestDiskRecoveryTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(Version{Seq: 1, Writer: 0, Data: []byte("durable")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(Version{Seq: 2, Writer: 1, Data: []byte("to-be-torn")}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last record.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || string(got.Data) != "durable" {
+		t.Errorf("after torn tail recovered %+v, want seq 1", got)
+	}
+	// The store must remain writable after truncating the torn tail.
+	if err := re.Put(Version{Seq: 3, Writer: 2, Data: []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	latest, _ := re.Get()
+	if latest.Seq != 3 {
+		t.Errorf("post-recovery Put: seq = %d", latest.Seq)
+	}
+}
+
+func TestDiskRecoveryCorruptedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(Version{Seq: 1, Writer: 0, Data: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(Version{Seq: 2, Writer: 0, Data: []byte("bad!")}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Flip a bit inside the second record's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-6] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 {
+		t.Errorf("corrupt record survived: seq = %d", got.Seq)
+	}
+}
+
+func TestDiskCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{CompactAfter: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	payload := bytes.Repeat([]byte("x"), 64)
+	for seq := uint64(1); seq <= 100; seq++ {
+		if err := d.Put(Version{Seq: seq, Writer: 0, Data: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compaction the log would be ~100 * (89+64) bytes; compaction
+	// keeps it near one record past the threshold.
+	if fi.Size() > 1024 {
+		t.Errorf("log size %d after compaction, want <= 1024", fi.Size())
+	}
+	got, err := d.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 100 {
+		t.Errorf("seq after compaction = %d", got.Seq)
+	}
+}
+
+func TestDiskCompactionSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{CompactAfter: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 50; seq++ {
+		if err := d.Put(Version{Seq: seq, Writer: 1, Data: []byte("abcdefgh")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	re, err := OpenDisk(path, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 50 {
+		t.Errorf("seq = %d, want 50", got.Seq)
+	}
+}
+
+// Property: a sequence of Put/Invalidate operations applied to Mem and Disk
+// leaves both stores observably identical.
+func TestMemDiskEquivalence(t *testing.T) {
+	type op struct {
+		Invalidate bool
+		Seq        uint16
+		Data       []byte
+	}
+	path := filepath.Join(t.TempDir(), "equiv.log")
+	check := func(ops []op) bool {
+		mem := NewMem()
+		disk, err := OpenDisk(path, DiskOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			disk.Close()
+			os.Remove(path)
+		}()
+		for _, o := range ops {
+			if o.Invalidate {
+				if err := mem.Invalidate(); err != nil {
+					return false
+				}
+				if err := disk.Invalidate(); err != nil {
+					return false
+				}
+				continue
+			}
+			v := Version{Seq: uint64(o.Seq) + 1, Writer: 0, Data: o.Data}
+			if err := mem.Put(v); err != nil {
+				return false
+			}
+			if err := disk.Put(v); err != nil {
+				return false
+			}
+		}
+		if mem.HasCopy() != disk.HasCopy() {
+			return false
+		}
+		mv, merr := mem.Get()
+		dv, derr := disk.Get()
+		if (merr == nil) != (derr == nil) {
+			return false
+		}
+		if merr == nil && (mv.Seq != dv.Seq || !bytes.Equal(mv.Data, dv.Data)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeekAndResetStats(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			if _, ok := s.Peek(); ok {
+				t.Error("Peek on empty store returned a version")
+			}
+			if err := s.Put(Version{Seq: 2, Writer: 1, Data: []byte("p")}); err != nil {
+				t.Fatal(err)
+			}
+			v, ok := s.Peek()
+			if !ok || v.Seq != 2 {
+				t.Errorf("Peek = %+v ok=%v", v, ok)
+			}
+			// Peek costs nothing.
+			if got := s.Stats(); got.Inputs != 0 || got.Outputs != 1 {
+				t.Errorf("stats after Peek = %+v", got)
+			}
+			// Peek returns a copy.
+			v.Data[0] = 'X'
+			if w, _ := s.Peek(); w.Data[0] != 'p' {
+				t.Error("Peek exposed internal buffer")
+			}
+			s.ResetStats()
+			if s.Stats() != (IOStats{}) {
+				t.Error("ResetStats did not zero")
+			}
+		})
+	}
+}
+
+func TestMemClose(t *testing.T) {
+	if err := NewMem().Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestOpenDiskErrors(t *testing.T) {
+	// Path whose parent cannot be created (a file stands in the way).
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(filepath.Join(blocker, "sub", "obj.log"), DiskOptions{}); err == nil {
+		t.Error("OpenDisk under a file accepted")
+	}
+	// Path that is a directory.
+	if _, err := OpenDisk(dir, DiskOptions{}); err == nil {
+		t.Error("OpenDisk on a directory accepted")
+	}
+}
+
+func TestDiskInvalidateSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Put(Version{Seq: 1, Writer: 0, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasCopy() {
+		t.Error("copy survived synced invalidate")
+	}
+}
+
+func TestDiskCompactionOfInvalidatedState(t *testing.T) {
+	// Compacting a store whose current state is "no copy" writes an empty
+	// log.
+	path := filepath.Join(t.TempDir(), "obj.log")
+	d, err := OpenDisk(path, DiskOptions{CompactAfter: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := d.Put(Version{Seq: seq, Writer: 0, Data: bytes.Repeat([]byte("y"), 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	// Next Put triggers compaction with valid=false first.
+	if err := d.Put(Version{Seq: 9, Writer: 1, Data: []byte("fresh")}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Seq != 9 {
+		t.Errorf("seq = %d", v.Seq)
+	}
+}

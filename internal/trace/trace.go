@@ -1,0 +1,122 @@
+// Package trace records executed simulator runs as JSON documents and
+// replays them, verifying that a run reproduces its recorded accounting
+// bit for bit. Records serve as regression corpora: a protocol change that
+// alters by even one control message which messages SA or DA sends shows
+// up as a replay mismatch.
+//
+// The schedule is stored in the paper's own notation ("w2 r4 w3 ..."), so
+// records are readable and diffable.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/sim"
+)
+
+// Record is one captured run.
+type Record struct {
+	// Protocol is "SA" or "DA".
+	Protocol string `json:"protocol"`
+	// N and T describe the cluster.
+	N int `json:"n"`
+	T int `json:"t"`
+	// Initial is the initial allocation scheme.
+	Initial model.Set `json:"initial"`
+	// Schedule is the executed request sequence.
+	Schedule model.Schedule `json:"schedule"`
+	// Counts is the accounting the run produced.
+	Counts cost.Counts `json:"counts"`
+	// FinalScheme is the allocation scheme after the run.
+	FinalScheme model.Set `json:"final_scheme"`
+}
+
+// Capture executes the schedule on a fresh cluster and returns the record.
+func Capture(protocol sim.Protocol, n, t int, initial model.Set, sched model.Schedule) (*Record, error) {
+	c, err := sim.New(sim.Config{N: n, T: t, Protocol: protocol, Initial: initial})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if _, err := c.Run(sched); err != nil {
+		return nil, err
+	}
+	return &Record{
+		Protocol:    protocol.String(),
+		N:           n,
+		T:           t,
+		Initial:     initial,
+		Schedule:    sched.Clone(),
+		Counts:      c.Counts(),
+		FinalScheme: c.Scheme(),
+	}, nil
+}
+
+// protocolOf parses the record's protocol name.
+func (r *Record) protocol() (sim.Protocol, error) {
+	switch r.Protocol {
+	case "SA":
+		return sim.SA, nil
+	case "DA":
+		return sim.DA, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown protocol %q", r.Protocol)
+	}
+}
+
+// Replay re-executes the record on a fresh cluster and returns an error if
+// the accounting or the final allocation scheme deviates.
+func (r *Record) Replay() error {
+	protocol, err := r.protocol()
+	if err != nil {
+		return err
+	}
+	c, err := sim.New(sim.Config{N: r.N, T: r.T, Protocol: protocol, Initial: r.Initial})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Run(r.Schedule); err != nil {
+		return err
+	}
+	if got := c.Counts(); got != r.Counts {
+		return fmt.Errorf("trace: replay counts %v differ from recorded %v", got, r.Counts)
+	}
+	if got := c.Scheme(); got != r.FinalScheme {
+		return fmt.Errorf("trace: replay final scheme %v differs from recorded %v", got, r.FinalScheme)
+	}
+	return nil
+}
+
+// Save writes the record as indented JSON.
+func (r *Record) Save(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: marshal: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("trace: write: %w", err)
+	}
+	return nil
+}
+
+// Load reads a record saved by Save.
+func Load(path string) (*Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	var r Record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	if _, err := r.protocol(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"objalloc/internal/model"
+	"objalloc/internal/sim"
+	"objalloc/internal/workload"
+)
+
+func TestCaptureAndReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, protocol := range []sim.Protocol{sim.SA, sim.DA} {
+		sched := workload.Uniform(rng, 5, 60, 0.3)
+		rec, err := Capture(protocol, 5, 2, model.NewSet(0, 1), sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Counts.IO == 0 {
+			t.Fatal("capture recorded no work")
+		}
+		if err := rec.Replay(); err != nil {
+			t.Errorf("%v: replay: %v", protocol, err)
+		}
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sched := workload.Uniform(rng, 5, 40, 0.3)
+	rec, err := Capture(sim.DA, 5, 2, model.NewSet(0, 1), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Counts.Control++
+	if err := rec.Replay(); err == nil {
+		t.Error("tampered counts replayed clean")
+	}
+	rec.Counts.Control--
+	rec.FinalScheme = rec.FinalScheme.Add(63)
+	if err := rec.Replay(); err == nil {
+		t.Error("tampered final scheme replayed clean")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sched := workload.Uniform(rng, 4, 30, 0.4)
+	rec, err := Capture(sim.SA, 4, 2, model.NewSet(0, 1), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := rec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// The file is human-readable: the schedule appears in paper notation.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), sched[0].String()) {
+		t.Errorf("record not in paper notation:\n%s", raw)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Counts != rec.Counts || loaded.FinalScheme != rec.FinalScheme ||
+		loaded.Schedule.String() != rec.Schedule.String() {
+		t.Errorf("round trip changed the record")
+	}
+	if err := loaded.Replay(); err != nil {
+		t.Errorf("loaded record replay: %v", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("garbage loaded")
+	}
+	wrongProto := filepath.Join(dir, "proto.json")
+	os.WriteFile(wrongProto, []byte(`{"protocol":"XX","n":3,"t":2,"initial":"{0,1}","schedule":"r1"}`), 0o644)
+	if _, err := Load(wrongProto); err == nil {
+		t.Error("unknown protocol loaded")
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	if _, err := Capture(sim.DA, 3, 2, model.NewSet(0), nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	rec := &Record{Protocol: "SA", N: 3, T: 2, Initial: model.NewSet(0, 1),
+		Schedule: model.MustParseSchedule("r1")}
+	if err := rec.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json")); err == nil {
+		t.Error("save into missing directory accepted")
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	bad := &Record{Protocol: "XX"}
+	if err := bad.Replay(); err == nil {
+		t.Error("unknown protocol replayed")
+	}
+	invalid := &Record{Protocol: "DA", N: 3, T: 2, Initial: model.NewSet(0)}
+	if err := invalid.Replay(); err == nil {
+		t.Error("invalid config replayed")
+	}
+}

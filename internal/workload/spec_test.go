@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/model"
+)
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestFromSpecDefaults(t *testing.T) {
+	cases := map[string]int{ // spec -> minimum length
+		"uniform":    200,
+		"zipf":       200,
+		"bursty":     50,
+		"hotspot":    200,
+		"mobile":     50,
+		"publishing": 40 * 2,
+		"satellite":  60,
+	}
+	for spec, minLen := range cases {
+		s, err := FromSpec(rng(), spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(s) < minLen {
+			t.Errorf("%s: len = %d, want >= %d", spec, len(s), minLen)
+		}
+	}
+}
+
+func TestFromSpecParameters(t *testing.T) {
+	s, err := FromSpec(rng(), "uniform:n=3,len=50,pwrite=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 50 || s.Writes() != 50 {
+		t.Errorf("len=%d writes=%d", len(s), s.Writes())
+	}
+	if !s.Processors().SubsetOf(model.FullSet(3)) {
+		t.Errorf("processors = %v", s.Processors())
+	}
+
+	s, err = FromSpec(rng(), "mobile:n=5,moves=7,reads=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Writes() != 7 {
+		t.Errorf("mobile writes = %d", s.Writes())
+	}
+
+	s, err = FromSpec(rng(), "hotspot:n=6,len=300,hot={4;5},frac=0.95,pwrite=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotCount := 0
+	for _, q := range s {
+		if q.Processor == 4 || q.Processor == 5 {
+			hotCount++
+		}
+	}
+	if float64(hotCount)/float64(len(s)) < 0.9 {
+		t.Errorf("hot fraction = %d/%d", hotCount, len(s))
+	}
+}
+
+func TestFromSpecDeterministic(t *testing.T) {
+	a, err := FromSpec(rand.New(rand.NewSource(9)), "zipf:len=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromSpec(rand.New(rand.NewSource(9)), "zipf:len=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("spec generation not deterministic")
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	bad := []string{
+		"warp",                 // unknown workload
+		"uniform:len",          // malformed parameter
+		"uniform:len=abc",      // non-numeric
+		"uniform:len=-3",       // negative
+		"uniform:bogus=1",      // unknown key
+		"hotspot:hot=nonsense", // bad set
+		"uniform:=5",           // empty key
+		"zipf:s=abc",           // bad float
+	}
+	for _, spec := range bad {
+		if _, err := FromSpec(rng(), spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

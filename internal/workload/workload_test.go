@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"objalloc/internal/model"
+)
+
+func TestUniformBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Uniform(rng, 5, 1000, 0.3)
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if !s.Processors().SubsetOf(model.FullSet(5)) {
+		t.Errorf("processors = %v", s.Processors())
+	}
+	frac := float64(s.Writes()) / float64(len(s))
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Errorf("write fraction = %g, want ~0.3", frac)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(rand.New(rand.NewSource(9)), 4, 50, 0.5)
+	b := Uniform(rand.New(rand.NewSource(9)), 4, 50, 0.5)
+	if a.String() != b.String() {
+		t.Error("same seed produced different schedules")
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform(n=0) did not panic")
+		}
+	}()
+	Uniform(rand.New(rand.NewSource(1)), 0, 10, 0.5)
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Zipf(rng, 10, 5000, 0.2, 2.0)
+	counts := map[model.ProcessorID]int{}
+	for _, q := range s {
+		counts[q.Processor]++
+	}
+	// Processor 0 must dominate under heavy skew.
+	if counts[0] < counts[9]*3 {
+		t.Errorf("zipf not skewed: p0=%d p9=%d", counts[0], counts[9])
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf(s=1) did not panic")
+		}
+	}()
+	Zipf(rand.New(rand.NewSource(1)), 5, 10, 0.5, 1.0)
+}
+
+func TestHotspot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hot := model.NewSet(7)
+	s := Hotspot(rng, 10, 4000, 0.5, hot, 0.9)
+	fromHot := 0
+	for _, q := range s {
+		if q.Processor == 7 {
+			fromHot++
+		}
+	}
+	frac := float64(fromHot) / float64(len(s))
+	if frac < 0.85 { // 0.9 direct + 0.1*0.1 via uniform
+		t.Errorf("hot fraction = %g", frac)
+	}
+}
+
+func TestRegularPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	phases := []Phase{
+		{Length: 500, ReadRate: map[model.ProcessorID]float64{1: 3}, WriteRate: map[model.ProcessorID]float64{2: 1}},
+		{Length: 500, ReadRate: map[model.ProcessorID]float64{3: 1}},
+	}
+	s, err := Regular(rng, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	first, second := s[:500], s[500:]
+	for _, q := range second {
+		if q != model.R(3) {
+			t.Fatalf("phase 2 produced %v", q)
+		}
+	}
+	reads1 := 0
+	for _, q := range first {
+		switch q {
+		case model.R(1):
+			reads1++
+		case model.W(2):
+		default:
+			t.Fatalf("phase 1 produced %v", q)
+		}
+	}
+	frac := float64(reads1) / 500
+	if math.Abs(frac-0.75) > 0.06 {
+		t.Errorf("phase 1 read fraction = %g, want ~0.75", frac)
+	}
+}
+
+func TestRegularRejectsEmptyPhase(t *testing.T) {
+	if _, err := Regular(rand.New(rand.NewSource(1)), []Phase{{Length: 5}}); err == nil {
+		t.Error("phase with no rates accepted")
+	}
+}
+
+func TestMobileTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := MobileTrace(rng, 6, 100, 4)
+	if s.Writes() != 100 {
+		t.Errorf("writes = %d, want 100 (one per move)", s.Writes())
+	}
+	for _, q := range s {
+		if q.IsWrite() && q.Processor != 1 {
+			t.Fatalf("write from %d, only the owner (1) moves", q.Processor)
+		}
+		if q.IsRead() && (q.Processor < 2 || q.Processor > 5) {
+			t.Fatalf("read from %d, readers are 2..5", q.Processor)
+		}
+	}
+	meanReads := float64(s.Reads()) / 100
+	if meanReads < 2.5 || meanReads > 6 {
+		t.Errorf("mean reads per move = %g, want ~4", meanReads)
+	}
+}
+
+func TestPublishing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	authors := model.NewSet(0, 1)
+	s := Publishing(rng, 8, 50, authors, 6)
+	if s.Writes() != 50 {
+		t.Errorf("writes = %d", s.Writes())
+	}
+	for _, q := range s {
+		if q.IsWrite() && !authors.Contains(q.Processor) {
+			t.Fatalf("non-author %d wrote", q.Processor)
+		}
+	}
+	if len(s) != 50*(2+6) {
+		t.Errorf("len = %d, want %d", len(s), 50*8)
+	}
+}
+
+func TestAppendOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := AppendOnly(rng, 5, 200, 3)
+	if s.Writes() != 200 {
+		t.Errorf("writes = %d", s.Writes())
+	}
+	if s[0].Op != model.Write {
+		t.Error("first request should be the first generated object")
+	}
+}
+
+func TestReadRunAndConcat(t *testing.T) {
+	run := ReadRun(3, 4)
+	if run.String() != "r3 r3 r3 r3" {
+		t.Errorf("ReadRun = %q", run.String())
+	}
+	c := Concat(run, model.Schedule{model.W(1)}, nil, ReadRun(2, 1))
+	if c.String() != "r3 r3 r3 r3 w1 r2" {
+		t.Errorf("Concat = %q", c.String())
+	}
+}
+
+func TestBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := Bursty(rng, 5, 100, 4, 0.3)
+	if len(s) < 100 {
+		t.Fatalf("len = %d, want >= one per burst", len(s))
+	}
+	// Requests come in same-processor same-op runs; verify mean burst
+	// length is plausible by counting run boundaries.
+	runs := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			runs++
+		}
+	}
+	meanRun := float64(len(s)) / float64(runs)
+	if meanRun < 2 || meanRun > 8 {
+		t.Errorf("mean run length = %g, want ~5", meanRun)
+	}
+}
+
+func TestBurstyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bursty(burstLen=0) did not panic")
+		}
+	}()
+	Bursty(rand.New(rand.NewSource(1)), 3, 5, 0, 0.5)
+}
+
+func TestInterleave(t *testing.T) {
+	a := MustParse("r1 r1 r1")
+	b := MustParse("w2")
+	got := Interleave(a, b)
+	if got.String() != "r1 w2 r1 r1" {
+		t.Errorf("Interleave = %q", got.String())
+	}
+	if len(Interleave()) != 0 {
+		t.Error("empty interleave not empty")
+	}
+}
+
+// MustParse is a tiny local alias to keep the test table readable.
+func MustParse(s string) model.Schedule { return model.MustParseSchedule(s) }

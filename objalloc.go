@@ -1,0 +1,481 @@
+// Package objalloc is a Go implementation of the object allocation and
+// replication framework of Huang & Wolfson, "Object Allocation in
+// Distributed Databases and Mobile Computers", ICDE 1994: a unified
+// I/O-plus-communication cost model for distributed object management
+// (DOM), the read-one-write-all Static Allocation algorithm (SA), the
+// paper's Dynamic Allocation algorithm (DA) with join-lists and
+// write-invalidation, the exact offline optimum used as the competitive
+// yardstick, a message-level distributed-system simulator with quorum
+// failover, and the experiment harness that regenerates the paper's
+// figures.
+//
+// The package is a facade: it re-exports the curated public surface of the
+// internal packages so applications import only objalloc. The five entry
+// points are:
+//
+//   - Schedules and the cost model: ParseSchedule, R, W, SC, MC,
+//     ScheduleCost — the formal model of §3.
+//   - Online algorithms: NewStatic, NewDynamic, Run — §4.2.
+//   - The offline optimum and competitive measurement: OptimalCost, Ratio,
+//     Sweep — §4.1's methodology and the figures.
+//   - The executable distributed system: NewCluster (SA/DA protocols over
+//     a simulated network and per-processor databases) and NewHACluster
+//     (DA with quorum-consensus failover, §2).
+//   - The multi-object database directory: OpenDB.
+package objalloc
+
+import (
+	"math/rand"
+
+	"objalloc/internal/advisor"
+	"objalloc/internal/baseline"
+	"objalloc/internal/cache"
+	"objalloc/internal/competitive"
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/feed"
+	"objalloc/internal/ha"
+	"objalloc/internal/hetero"
+	"objalloc/internal/latency"
+	"objalloc/internal/model"
+	"objalloc/internal/multiobject"
+	"objalloc/internal/opt"
+	"objalloc/internal/quorum"
+	"objalloc/internal/sim"
+	"objalloc/internal/storage"
+	"objalloc/internal/trace"
+	"objalloc/internal/workload"
+)
+
+// ---- Formal model (§3.1) ----
+
+// ProcessorID identifies a processor; processors are numbered from 0.
+type ProcessorID = model.ProcessorID
+
+// Set is a set of processors (an allocation scheme, an execution set, ...).
+type Set = model.Set
+
+// Request is a read or write request issued by a processor.
+type Request = model.Request
+
+// Schedule is a totally ordered sequence of requests to one object.
+type Schedule = model.Schedule
+
+// Step is one request of an allocation schedule together with its
+// execution set and saving-read flag.
+type Step = model.Step
+
+// AllocSchedule is a schedule with execution sets: the output of a DOM
+// algorithm.
+type AllocSchedule = model.AllocSchedule
+
+// NewSet returns the set of the given processors.
+func NewSet(ids ...ProcessorID) Set { return model.NewSet(ids...) }
+
+// FullSet returns {0, ..., n-1}.
+func FullSet(n int) Set { return model.FullSet(n) }
+
+// R returns a read request issued by p.
+func R(p ProcessorID) Request { return model.R(p) }
+
+// W returns a write request issued by p.
+func W(p ProcessorID) Request { return model.W(p) }
+
+// ParseSchedule parses the paper's notation, e.g. "w2 r4 w3 r1 r2".
+func ParseSchedule(text string) (Schedule, error) { return model.ParseSchedule(text) }
+
+// MustParseSchedule is ParseSchedule panicking on error.
+func MustParseSchedule(text string) Schedule { return model.MustParseSchedule(text) }
+
+// ---- Cost model (§3.2, §3.3) ----
+
+// CostModel prices control messages (CC), data messages (CD) and local
+// database I/Os (CIO).
+type CostModel = cost.Model
+
+// Counts is the integer accounting of control messages, data messages and
+// I/Os.
+type Counts = cost.Counts
+
+// SC returns the stationary-computing model: I/O cost normalized to 1.
+func SC(cc, cd float64) CostModel { return cost.SC(cc, cd) }
+
+// MC returns the mobile-computing model: I/O cost 0.
+func MC(cc, cd float64) CostModel { return cost.MC(cc, cd) }
+
+// ScheduleCost prices an allocation schedule executed from the initial
+// allocation scheme.
+func ScheduleCost(m CostModel, a AllocSchedule, initial Set) float64 {
+	return cost.ScheduleCost(m, a, initial)
+}
+
+// ---- Online DOM algorithms (§4.2) ----
+
+// Algorithm is an online distributed object management algorithm.
+type Algorithm = dom.Algorithm
+
+// Factory creates a fresh Algorithm for an initial allocation scheme and
+// availability threshold t.
+type Factory = dom.Factory
+
+// NewStatic returns the read-one-write-all SA algorithm with fixed scheme
+// initial.
+func NewStatic(initial Set, t int) (Algorithm, error) { return dom.NewStatic(initial, t) }
+
+// NewDynamic returns the paper's DA algorithm: core F = the t-1 smallest
+// members of initial, designated processor p = the next member.
+func NewDynamic(initial Set, t int) (Algorithm, error) { return dom.NewDynamic(initial, t) }
+
+// StaticFactory and DynamicFactory are the Factory forms of SA and DA.
+var (
+	StaticFactory  Factory = dom.StaticFactory
+	DynamicFactory Factory = dom.DynamicFactory
+)
+
+// NewConvergent returns the window-based adaptive baseline (§5.1).
+func NewConvergent(initial Set, t, window int) (Algorithm, error) {
+	return baseline.NewConvergent(initial, t, window)
+}
+
+// ConvergentFactory is the Factory form of NewConvergent.
+func ConvergentFactory(window int) Factory { return baseline.ConvergentFactory(window) }
+
+// KThresholdFactory returns the DA-k family: replicate after k reads.
+func KThresholdFactory(k int) Factory { return baseline.KThresholdFactory(k) }
+
+// Run feeds a schedule through an algorithm's online steps.
+func Run(alg Algorithm, sched Schedule) AllocSchedule { return dom.Run(alg, sched) }
+
+// ---- Offline optimum and competitiveness (§4.1) ----
+
+// OptimalCost returns the cost of the optimal offline t-available DOM
+// algorithm on the schedule — the competitive yardstick.
+func OptimalCost(m CostModel, sched Schedule, initial Set, t int) (float64, error) {
+	return opt.SolveCost(m, sched, initial, t)
+}
+
+// OptimalResult carries the optimum's cost and one optimal allocation
+// schedule.
+type OptimalResult = opt.Result
+
+// Optimal additionally reconstructs an optimal allocation schedule.
+func Optimal(m CostModel, sched Schedule, initial Set, t int) (*OptimalResult, error) {
+	return opt.Solve(m, sched, initial, t)
+}
+
+// Measurement compares an algorithm's cost against the optimum on one
+// schedule.
+type Measurement = competitive.Measurement
+
+// Ratio measures COST_A / COST_OPT on one schedule.
+func Ratio(m CostModel, f Factory, sched Schedule, initial Set, t int) (Measurement, error) {
+	return competitive.Ratio(m, f, sched, initial, t)
+}
+
+// SABound is Theorem 1's competitiveness factor (1+cc+cd in SC; +Inf in MC
+// where SA is not competitive).
+func SABound(m CostModel) float64 { return competitive.SABound(m) }
+
+// DABound is Theorems 2-4: 2+2cc (SC), 2+cc (SC with cd>1), 2+3cc/cd (MC).
+func DABound(m CostModel) float64 { return competitive.DABound(m) }
+
+// GridPoint is one measured point of a (cd, cc) plane sweep.
+type GridPoint = competitive.GridPoint
+
+// BatteryConfig configures the schedule battery for sweeps.
+type BatteryConfig = competitive.BatteryConfig
+
+// DefaultBattery is the battery used by the figure sweeps.
+func DefaultBattery() BatteryConfig { return competitive.DefaultBattery() }
+
+// Sweep measures SA and DA over a (cd, cc) grid, reproducing figure 1
+// (mobile=false) or figure 2 (mobile=true).
+func Sweep(cds, ccs []float64, mobile bool, battery BatteryConfig) ([]GridPoint, error) {
+	return competitive.Sweep(cds, ccs, mobile, battery)
+}
+
+// RenderGrid draws a sweep as an ASCII region map in the style of the
+// paper's figures.
+func RenderGrid(points []GridPoint, empirical bool) string {
+	return competitive.RenderGrid(points, empirical)
+}
+
+// SearchConfig drives the adversarial worst-case schedule search
+// (hill-climbing or simulated annealing).
+type SearchConfig = competitive.SearchConfig
+
+// SearchResult is the best adversarial schedule found.
+type SearchResult = competitive.SearchResult
+
+// SearchWorstCase looks for schedules maximizing an algorithm's cost ratio
+// against the offline optimum.
+func SearchWorstCase(cfg SearchConfig) (SearchResult, error) { return competitive.Search(cfg) }
+
+// ShrinkWitness minimizes an adversarial witness while keeping its ratio
+// at or above keepRatio.
+func ShrinkWitness(m CostModel, f Factory, sched Schedule, initial Set, t int, keepRatio float64) (Schedule, Measurement, error) {
+	return competitive.Shrink(m, f, sched, initial, t, keepRatio)
+}
+
+// CrossoverResult locates the measured SA/DA crossover on the cd axis.
+type CrossoverResult = competitive.CrossoverResult
+
+// Crossover bisects the cd at which the measured worst-case winner flips
+// from SA to DA for a fixed cc.
+func Crossover(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverResult, error) {
+	return competitive.Crossover(cc, cdMax, iters, battery)
+}
+
+// ScheduleFamily generates the k-th member of a growing schedule family.
+type ScheduleFamily = competitive.Family
+
+// AsymptoticFit separates an algorithm's competitive factor (slope) from
+// its additive constant (intercept) on a schedule family.
+type AsymptoticFit = competitive.AsymptoticFit
+
+// FitAsymptotic least-squares-fits COST_A ≈ α·COST_OPT + β over a family.
+func FitAsymptotic(m CostModel, f Factory, family ScheduleFamily, ks []int, initial Set, t int) (AsymptoticFit, error) {
+	return competitive.FitAsymptotic(m, f, family, ks, initial, t)
+}
+
+// ---- Executable distributed system ----
+
+// Version is one version of the replicated object.
+type Version = storage.Version
+
+// Store is a processor's local database.
+type Store = storage.Store
+
+// NewMemStore returns an in-memory local database.
+func NewMemStore() Store { return storage.NewMem() }
+
+// DiskOptions configures a disk-backed local database.
+type DiskOptions = storage.DiskOptions
+
+// OpenDiskStore opens (or recovers) a disk-backed local database at path.
+func OpenDiskStore(path string, opts DiskOptions) (Store, error) {
+	return storage.OpenDisk(path, opts)
+}
+
+// Protocol selects the replication protocol a cluster executes.
+type Protocol = sim.Protocol
+
+// Protocols.
+const (
+	ProtocolSA = sim.SA
+	ProtocolDA = sim.DA
+)
+
+// ClusterConfig describes a simulated distributed system.
+type ClusterConfig = sim.Config
+
+// Cluster is a running distributed system: one goroutine per processor,
+// a billed message network, and per-processor local databases.
+type Cluster = sim.Cluster
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return sim.New(cfg) }
+
+// QuorumConfig describes a quorum-consensus cluster.
+type QuorumConfig = quorum.Config
+
+// QuorumCluster is a majority/weighted-voting replicated system.
+type QuorumCluster = quorum.Cluster
+
+// NewQuorumCluster builds and starts a quorum cluster.
+func NewQuorumCluster(cfg QuorumConfig) (*QuorumCluster, error) { return quorum.New(cfg) }
+
+// HAConfig describes a DA cluster with quorum failover (§2).
+type HAConfig = ha.Config
+
+// HACluster runs DA in normal mode and fails over to quorum consensus when
+// a member of F ∪ {p} crashes, failing back after missing-writes recovery.
+type HACluster = ha.Cluster
+
+// NewHACluster builds and starts a highly-available cluster.
+func NewHACluster(cfg HAConfig) (*HACluster, error) { return ha.New(cfg) }
+
+// ---- Offline approximations for large systems ----
+
+// OptimalLowerBound returns a closed-form value no larger than the optimal
+// offline cost, valid for any number of processors.
+func OptimalLowerBound(m CostModel, sched Schedule, t int) float64 {
+	return opt.LowerBound(m, sched, t)
+}
+
+// BeamResult carries the beam-search approximation of the offline optimum.
+type BeamResult = opt.BeamResult
+
+// OptimalBeam approximates the offline optimum by beam search — an upper
+// bound on the optimal cost that scales past the exact solver's
+// 16-processor limit.
+func OptimalBeam(m CostModel, sched Schedule, initial Set, t, width int) (*BeamResult, error) {
+	return opt.Beam(m, sched, initial, t, width)
+}
+
+// ---- Heterogeneous costs (§6 extension) ----
+
+// HeteroModel prices a heterogeneous system: per-link message costs and
+// per-processor I/O costs.
+type HeteroModel = hetero.Model
+
+// UniformHetero embeds a homogeneous model on n processors.
+func UniformHetero(n int, m CostModel) HeteroModel { return hetero.Uniform(n, m) }
+
+// ClusteredHetero builds a two-cluster topology (LAN prices within each
+// cluster, WAN prices between them).
+func ClusteredHetero(n, split int, intraCC, intraCD, interCC, interCD, cio float64) HeteroModel {
+	return hetero.Clustered(n, split, intraCC, intraCD, interCC, interCD, cio)
+}
+
+// TopologyAwareDynamicFactory returns DA with topology-aware read routing:
+// remote reads are served by the cheapest member of F for each reader.
+func TopologyAwareDynamicFactory(m HeteroModel) Factory {
+	return hetero.AwareDynamicFactory(m)
+}
+
+// ---- Response-time simulation (§1.2's motivation) ----
+
+// LatencyProfile describes transmission, propagation and disk service
+// times, and whether the network is a contended shared bus.
+type LatencyProfile = latency.Profile
+
+// LatencyResult carries per-request response times and utilizations.
+type LatencyResult = latency.Result
+
+// SimulateLatency pushes an allocation schedule through the discrete-event
+// resource model and returns response times.
+func SimulateLatency(p LatencyProfile, a AllocSchedule, initial Set, arrivals []float64) (*LatencyResult, error) {
+	return latency.Simulate(p, a, initial, arrivals)
+}
+
+// UniformArrivals returns n arrival times at the given open-loop rate.
+func UniformArrivals(n int, rate float64) []float64 { return latency.UniformArrivals(n, rate) }
+
+// SimulateLatencyClosedLoop runs the schedule with per-processor
+// closed-loop clients separated by thinkTime.
+func SimulateLatencyClosedLoop(p LatencyProfile, a AllocSchedule, initial Set, thinkTime float64) (*LatencyResult, error) {
+	return latency.SimulateClosedLoop(p, a, initial, thinkTime)
+}
+
+// ---- Workload generators ----
+
+// UniformWorkload draws length requests uniformly over n processors with
+// the given write probability.
+func UniformWorkload(rng *rand.Rand, n, length int, pWrite float64) Schedule {
+	return workload.Uniform(rng, n, length, pWrite)
+}
+
+// ZipfWorkload draws issuing processors from a Zipf distribution with
+// exponent s > 1.
+func ZipfWorkload(rng *rand.Rand, n, length int, pWrite, s float64) Schedule {
+	return workload.Zipf(rng, n, length, pWrite, s)
+}
+
+// MobileTrace models location tracking: processor 1 moves (writes),
+// processors 2..n-1 look the location up (§1.1, §2).
+func MobileTrace(rng *rand.Rand, n, moves int, readsPerMove float64) Schedule {
+	return workload.MobileTrace(rng, n, moves, readsPerMove)
+}
+
+// PublishingTrace models a collaboratively edited document (§1.1).
+func PublishingTrace(rng *rand.Rand, n, revisions int, authors Set, readersPerRevision int) Schedule {
+	return workload.Publishing(rng, n, revisions, authors, readersPerRevision)
+}
+
+// AppendOnlyTrace models the satellite object sequence of §6.2.
+func AppendOnlyTrace(rng *rand.Rand, n, objects int, readsPerObject float64) Schedule {
+	return workload.AppendOnly(rng, n, objects, readsPerObject)
+}
+
+// ---- Algorithm advisor ----
+
+// AdvisorChoice is the advisor's recommendation.
+type AdvisorChoice = advisor.Choice
+
+// Advisor choices.
+const (
+	AdviseSA     = advisor.ChooseSA
+	AdviseDA     = advisor.ChooseDA
+	AdviseEither = advisor.ChooseEither
+)
+
+// Advise recommends SA or DA from the cost model alone, applying the
+// paper's figures 1 and 2.
+func Advise(m CostModel) AdvisorChoice { return advisor.Analytic(m) }
+
+// Advice carries the workload-based recommendation.
+type Advice = advisor.Advice
+
+// AdviseForWorkload measures SA and DA (and any extra candidates) on a
+// workload sample against the offline optimum and recommends the cheapest.
+func AdviseForWorkload(m CostModel, sample Schedule, initial Set, t int) (*Advice, error) {
+	return advisor.Recommend(m, sample, initial, t, nil)
+}
+
+// ---- Bounded storage (§5.2 contrast) ----
+
+// CacheReplacement selects the page-replacement policy of the bounded-
+// storage manager.
+type CacheReplacement = cache.Replacement
+
+// Replacement policies.
+const (
+	CacheLRU = cache.LRU
+	CacheMRU = cache.MRU
+)
+
+// CacheConfig describes a bounded-storage multi-object replica manager.
+type CacheConfig = cache.Config
+
+// CacheManager manages replicas under per-processor storage limits — the
+// CDVM setting the paper contrasts itself with in §5.2.
+type CacheManager = cache.Manager
+
+// NewCacheManager creates the bounded-storage manager.
+func NewCacheManager(cfg CacheConfig) (*CacheManager, error) { return cache.New(cfg) }
+
+// ---- Append-only object feeds (§6.2) ----
+
+// FeedPolicy selects permanent (SA) or temporary (DA) standing orders.
+type FeedPolicy = feed.Policy
+
+// Feed policies.
+const (
+	PermanentOrders = feed.PermanentOrders
+	TemporaryOrders = feed.TemporaryOrders
+)
+
+// FeedConfig describes an append-only object sequence deployment.
+type FeedConfig = feed.Config
+
+// Feed is a running append-only object sequence (the §6.2 satellite model).
+type Feed = feed.Feed
+
+// OpenFeed starts a feed.
+func OpenFeed(cfg FeedConfig) (*Feed, error) { return feed.Open(cfg) }
+
+// ---- Run traces ----
+
+// TraceRecord captures one executed run for replay-based regression checks.
+type TraceRecord = trace.Record
+
+// CaptureTrace executes a schedule on a fresh cluster and records its
+// accounting.
+func CaptureTrace(protocol Protocol, n, t int, initial Set, sched Schedule) (*TraceRecord, error) {
+	return trace.Capture(protocol, n, t, initial, sched)
+}
+
+// LoadTrace reads a record saved with TraceRecord.Save.
+func LoadTrace(path string) (*TraceRecord, error) { return trace.Load(path) }
+
+// ---- Multi-object database ----
+
+// DBConfig describes a multi-object database directory.
+type DBConfig = multiobject.Config
+
+// DB is a directory of independently managed replicated objects.
+type DB = multiobject.DB
+
+// OpenDB creates an empty multi-object database.
+func OpenDB(cfg DBConfig) (*DB, error) { return multiobject.Open(cfg) }
