@@ -1,0 +1,19 @@
+# Tier-1 verification: build, vet, test, race-test. All four must pass.
+.PHONY: verify build vet test race bench
+
+verify: build vet test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -6,6 +6,7 @@
 package objalloc_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -36,7 +37,9 @@ func BenchmarkFigure1(b *testing.B) {
 	grid := []float64{0.25, 0.75, 1.25, 1.75}
 	var agree, decided int
 	for i := 0; i < b.N; i++ {
-		points, err := competitive.Sweep(grid, grid, false, benchBattery())
+		points, err := competitive.Sweep(context.Background(), competitive.SweepSpec{
+			CDs: grid, CCs: grid, Battery: benchBattery(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +61,9 @@ func BenchmarkFigure2(b *testing.B) {
 	grid := []float64{0.25, 0.75, 1.25, 1.75}
 	var daWins, admissible int
 	for i := 0; i < b.N; i++ {
-		points, err := competitive.Sweep(grid, grid, true, benchBattery())
+		points, err := competitive.Sweep(context.Background(), competitive.SweepSpec{
+			CDs: grid, CCs: grid, Mobile: true, Battery: benchBattery(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -567,15 +572,17 @@ func BenchmarkGapProbe(b *testing.B) {
 	initial := model.NewSet(0, 1)
 	var alpha float64
 	for i := 0; i < b.N; i++ {
-		fit, err := competitive.FitAsymptotic(m, dom.DynamicFactory,
-			func(k int) model.Schedule {
+		fit, err := competitive.FitAsymptotic(context.Background(), competitive.FitSpec{
+			Model: m, Factory: dom.DynamicFactory,
+			Family: func(k int) model.Schedule {
 				s, err := adversary.DAPunisher([]model.ProcessorID{2, 3, 4, 5}, 0, k)
 				if err != nil {
 					b.Fatal(err)
 				}
 				return s
 			},
-			[]int{10, 20, 40}, initial, 2)
+			Ks: []int{10, 20, 40}, Initial: initial, T: 2,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -592,11 +599,49 @@ func BenchmarkCrossover(b *testing.B) {
 	cfg := benchBattery()
 	var cd float64
 	for i := 0; i < b.N; i++ {
-		res, err := competitive.Crossover(0.2, 2.0, 8, cfg)
+		res, err := competitive.Crossover(context.Background(), competitive.CrossoverSpec{
+			CC: 0.2, CDMax: 2.0, Iters: 8, Battery: cfg,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		cd = res.CD
 	}
 	b.ReportMetric(cd, "crossover-cd")
+}
+
+// sweepBenchSpec is the figure-1 grid at reduced resolution: enough cells
+// (36) to keep the worker pool busy, small enough that serial runs finish
+// in benchmark time.
+func sweepBenchSpec(parallelism int) competitive.SweepSpec {
+	grid := []float64{0.2, 0.5, 0.8, 1.1, 1.4, 1.7}
+	return competitive.SweepSpec{
+		CDs: grid, CCs: grid,
+		Battery:     benchBattery(),
+		Parallelism: parallelism,
+	}
+}
+
+// BenchmarkSweepSerial pins the engine to one worker: the baseline the
+// parallel run is compared against.
+func BenchmarkSweepSerial(b *testing.B) {
+	spec := sweepBenchSpec(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := competitive.Sweep(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same grid with the default worker count
+// (GOMAXPROCS). On a single-core machine the two benchmarks coincide; on
+// >= 4 cores the grid cells are independent, so this one is expected to
+// finish in a fraction of the serial time.
+func BenchmarkSweepParallel(b *testing.B) {
+	spec := sweepBenchSpec(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := competitive.Sweep(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -11,15 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"objalloc/internal/adversary"
 	"objalloc/internal/baseline"
 	"objalloc/internal/competitive"
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/model"
 )
 
@@ -39,8 +43,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "search seed")
 		anneal   = flag.Bool("anneal", false, "use simulated annealing instead of plain hill-climbing")
 		shrink   = flag.Bool("shrink", true, "minimize the best witness found")
+		parallel = flag.Int("parallel", engine.DefaultParallelism(), "concurrent search restarts")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var m cost.Model
 	if *mobile {
@@ -93,12 +101,12 @@ func main() {
 		fmt.Printf("%-26s ratio %8.4f  (alg %.3f / opt %.3f)\n", name, meas.Ratio, meas.AlgCost, meas.OptCost)
 	}
 
-	// Randomized hill-climbing search.
-	res, err := competitive.Search(competitive.SearchConfig{
+	// Randomized hill-climbing search; restarts run concurrently.
+	res, err := competitive.Search(ctx, competitive.SearchConfig{
 		Model: m, Factory: factory,
 		N: *n, T: *t, Length: *length,
 		Restarts: *restarts, Steps: *steps, Seed: *seed,
-		Anneal: *anneal,
+		Anneal: *anneal, Parallelism: *parallel,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"strings"
 
@@ -25,6 +28,7 @@ import (
 	"objalloc/internal/competitive"
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/feed"
 	"objalloc/internal/ha"
 	"objalloc/internal/hetero"
@@ -37,9 +41,14 @@ import (
 )
 
 var (
-	quick = flag.Bool("quick", false, "smaller batteries (for CI smoke runs)")
-	only  = flag.String("experiment", "", "run a single experiment, e.g. E5")
+	quick    = flag.Bool("quick", false, "smaller batteries (for CI smoke runs)")
+	only     = flag.String("experiment", "", "run a single experiment, e.g. E5")
+	parallel = flag.Int("parallel", engine.DefaultParallelism(), "worker-pool size for sweeps, searches and fits")
 )
+
+// runCtx is cancelled by ctrl-C; the grid-shaped experiments pass it to the
+// parallel engine so an interrupt aborts outstanding cells promptly.
+var runCtx = context.Background()
 
 type experiment struct {
 	id, title string
@@ -50,6 +59,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runCtx = ctx
 
 	all := []experiment{
 		{"E1", "Figure 1 — SC superiority regions", e1Figure1},
@@ -106,7 +119,10 @@ func e1Figure1() {
 	if *quick {
 		steps = 5
 	}
-	points, err := competitive.Sweep(gridValues(steps), gridValues(steps), false, battery())
+	points, err := competitive.Sweep(runCtx, competitive.SweepSpec{
+		CDs: gridValues(steps), CCs: gridValues(steps),
+		Battery: battery(), Parallelism: *parallel,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,7 +147,10 @@ func e2Figure2() {
 	if *quick {
 		steps = 5
 	}
-	points, err := competitive.Sweep(gridValues(steps), gridValues(steps), true, battery())
+	points, err := competitive.Sweep(runCtx, competitive.SweepSpec{
+		CDs: gridValues(steps), CCs: gridValues(steps), Mobile: true,
+		Battery: battery(), Parallelism: *parallel,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -543,11 +562,11 @@ func e18Beam() {
 	var worstGap float64 = 1
 	for iter := 0; iter < 20; iter++ {
 		sched := workload.Uniform(rng, 6, 40, 0.3)
-		exact, err := opt.SolveCost(m, sched, initial, 2)
+		exact, err := opt.SolveCostContext(runCtx, m, sched, initial, 2)
 		if err != nil {
 			log.Fatal(err)
 		}
-		beam, err := opt.Beam(m, sched, initial, 2, 64)
+		beam, err := opt.BeamContext(runCtx, m, sched, initial, 2, 64)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -559,7 +578,7 @@ func e18Beam() {
 
 	// Large instance: 30 processors, beyond the exact solver.
 	sched := workload.Uniform(rng, 30, 400, 0.25)
-	beam, err := opt.Beam(m, sched, initial, 2, 32)
+	beam, err := opt.BeamContext(runCtx, m, sched, initial, 2, 32)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -605,22 +624,26 @@ func e21Gap() {
 		if *quick {
 			steps = 80
 		}
-		res, err := competitive.Search(competitive.SearchConfig{
+		res, err := competitive.Search(runCtx, competitive.SearchConfig{
 			Model: m, Factory: dom.DynamicFactory,
 			N: 5, T: 2, Length: 18, Restarts: 4, Steps: steps, Seed: 13,
+			Parallelism: *parallel,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fit, err := competitive.FitAsymptotic(m, dom.DynamicFactory,
-			func(k int) model.Schedule {
+		fit, err := competitive.FitAsymptotic(runCtx, competitive.FitSpec{
+			Model: m, Factory: dom.DynamicFactory,
+			Family: func(k int) model.Schedule {
 				s, err := adversary.DAPunisher([]model.ProcessorID{2, 3, 4, 5}, 0, k)
 				if err != nil {
 					log.Fatal(err)
 				}
 				return s
 			},
-			[]int{10, 20, 40, 80}, initial, 2)
+			Ks: []int{10, 20, 40, 80}, Initial: initial, T: 2,
+			Parallelism: *parallel,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -638,7 +661,9 @@ func e22Crossover() {
 	cfg := battery()
 	tbl := stats.NewTable("cc", "paper bracket", "measured crossover cd")
 	for _, cc := range []float64{0.05, 0.1, 0.2, 0.3} {
-		res, err := competitive.Crossover(cc, 2.0, 12, cfg)
+		res, err := competitive.Crossover(runCtx, competitive.CrossoverSpec{
+			CC: cc, CDMax: 2.0, Iters: 12, Battery: cfg, Parallelism: *parallel,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,14 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"objalloc/internal/adversary"
 	"objalloc/internal/competitive"
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/model"
 	"objalloc/internal/stats"
 )
@@ -27,14 +31,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figure2: ")
 	var (
-		maxCost = flag.Float64("max", 2.0, "largest cc and cd value on the grid")
-		steps   = flag.Int("steps", 10, "grid points per axis")
-		n       = flag.Int("n", 5, "processors in the battery")
-		t       = flag.Int("t", 2, "availability threshold")
-		seed    = flag.Int64("seed", 1994, "battery seed")
-		rounds  = flag.Int("rounds", 60, "nemesis schedule rounds")
+		maxCost  = flag.Float64("max", 2.0, "largest cc and cd value on the grid")
+		steps    = flag.Int("steps", 10, "grid points per axis")
+		n        = flag.Int("n", 5, "processors in the battery")
+		t        = flag.Int("t", 2, "availability threshold")
+		seed     = flag.Int64("seed", 1994, "battery seed")
+		rounds   = flag.Int("rounds", 60, "nemesis schedule rounds")
+		parallel = flag.Int("parallel", engine.DefaultParallelism(), "concurrent grid cells")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	battery := competitive.DefaultBattery()
 	battery.N, battery.T, battery.Seed, battery.NemesisRounds = *n, *t, *seed, *rounds
@@ -43,7 +51,9 @@ func main() {
 	for i := range grid {
 		grid[i] = *maxCost * float64(i+1) / float64(*steps)
 	}
-	points, err := competitive.Sweep(grid, grid, true, battery)
+	points, err := competitive.Sweep(ctx, competitive.SweepSpec{
+		CDs: grid, CCs: grid, Mobile: true, Battery: battery, Parallelism: *parallel,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

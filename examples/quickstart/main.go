@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	// 2. The offline optimum — the yardstick of the competitive analysis.
-	res, err := objalloc.Optimal(m, sched, initial, t)
+	res, err := objalloc.OptimalContext(context.Background(), m, sched, initial, t)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package competitive
 
 import (
+	"context"
 	"fmt"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/model"
 )
 
@@ -33,19 +35,46 @@ type AsymptoticFit struct {
 	MaxResidual float64
 }
 
+// FitSpec configures an asymptotic fit.
+type FitSpec struct {
+	// Model is the cost model the family is measured under.
+	Model cost.Model
+	// Factory builds the algorithm being fitted.
+	Factory dom.Factory
+	// Family generates the k-th schedule; it must be safe to call from
+	// multiple goroutines (the generators in package adversary are pure).
+	Family Family
+	// Ks are the family sizes measured; at least two distinct sizes are
+	// required.
+	Ks []int
+	// Initial is the initial allocation scheme; T the availability
+	// threshold.
+	Initial model.Set
+	T       int
+	// Parallelism bounds the concurrent family-member measurements; zero
+	// or negative selects engine.DefaultParallelism.
+	Parallelism int
+}
+
 // FitAsymptotic measures the algorithm and the optimum on each family
-// member and fits the line. At least two distinct sizes are required.
-func FitAsymptotic(m cost.Model, f dom.Factory, family Family, ks []int, initial model.Set, t int) (AsymptoticFit, error) {
-	if len(ks) < 2 {
+// member and fits the line. Family members are measured concurrently on
+// the engine's worker pool (one task per k, in Ks order); the
+// least-squares fit over the ordered results is identical to a serial
+// run. Cancelling the context aborts outstanding measurements.
+func FitAsymptotic(ctx context.Context, spec FitSpec) (AsymptoticFit, error) {
+	m, f, t := spec.Model, spec.Factory, spec.T
+	if len(spec.Ks) < 2 {
 		return AsymptoticFit{}, fmt.Errorf("competitive: need at least two family sizes")
 	}
-	xs := make([]float64, 0, len(ks))
-	ys := make([]float64, 0, len(ks))
-	for _, k := range ks {
-		meas, err := Ratio(m, f, family(k), initial, t)
-		if err != nil {
-			return AsymptoticFit{}, err
-		}
+	measurements, err := engine.Collect(ctx, len(spec.Ks), spec.Parallelism, func(taskCtx context.Context, i int) (Measurement, error) {
+		return RatioContext(taskCtx, m, f, spec.Family(spec.Ks[i]), spec.Initial, t)
+	})
+	if err != nil {
+		return AsymptoticFit{}, err
+	}
+	xs := make([]float64, 0, len(spec.Ks))
+	ys := make([]float64, 0, len(spec.Ks))
+	for _, meas := range measurements {
 		xs = append(xs, meas.OptCost)
 		ys = append(ys, meas.AlgCost)
 	}

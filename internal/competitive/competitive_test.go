@@ -1,6 +1,7 @@
 package competitive
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -257,7 +258,7 @@ func TestMeanRatioBelowWorst(t *testing.T) {
 func TestFigure1RegionsSC(t *testing.T) {
 	cds := []float64{0.1, 0.3, 0.6, 1.2, 1.8}
 	ccs := []float64{0.05, 0.2, 0.5, 1.0, 1.5}
-	points, err := Sweep(cds, ccs, false, DefaultBattery())
+	points, err := Sweep(context.Background(), SweepSpec{CDs: cds, CCs: ccs, Battery: DefaultBattery()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestFigure1RegionsSC(t *testing.T) {
 func TestFigure2RegionsMC(t *testing.T) {
 	cds := []float64{0.2, 0.5, 1.0, 2.0}
 	ccs := []float64{0.1, 0.4, 0.9}
-	points, err := Sweep(cds, ccs, true, DefaultBattery())
+	points, err := Sweep(context.Background(), SweepSpec{CDs: cds, CCs: ccs, Mobile: true, Battery: DefaultBattery()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,8 +345,9 @@ func TestRegionStringsAndRunes(t *testing.T) {
 }
 
 func TestRenderGrid(t *testing.T) {
-	points, err := Sweep([]float64{0.2, 1.5}, []float64{0.1, 1.0}, false, BatteryConfig{
-		N: 4, T: 2, RandomSchedules: 1, RandomLength: 12, NemesisRounds: 10, Seed: 3,
+	points, err := Sweep(context.Background(), SweepSpec{
+		CDs: []float64{0.2, 1.5}, CCs: []float64{0.1, 1.0},
+		Battery: BatteryConfig{N: 4, T: 2, RandomSchedules: 1, RandomLength: 12, NemesisRounds: 10, Seed: 3},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -369,7 +371,7 @@ func TestRenderGrid(t *testing.T) {
 
 func TestSearchFindsBadSchedulesForSA(t *testing.T) {
 	m := cost.SC(0.4, 1.1)
-	res, err := Search(SearchConfig{
+	res, err := Search(context.Background(), SearchConfig{
 		Model: m, Factory: dom.StaticFactory,
 		N: 5, T: 2, Length: 16, Restarts: 3, Steps: 120, Seed: 7,
 	})
@@ -392,11 +394,11 @@ func TestSearchDeterministic(t *testing.T) {
 		Model: cost.SC(0.2, 0.8), Factory: dom.DynamicFactory,
 		N: 4, T: 2, Length: 10, Restarts: 2, Steps: 40, Seed: 99,
 	}
-	a, err := Search(cfg)
+	a, err := Search(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Search(cfg)
+	b, err := Search(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +408,7 @@ func TestSearchDeterministic(t *testing.T) {
 }
 
 func TestSearchValidation(t *testing.T) {
-	if _, err := Search(SearchConfig{N: 0, Length: 5, T: 2, Model: cost.SC(0.1, 0.5), Factory: dom.StaticFactory}); err == nil {
+	if _, err := Search(context.Background(), SearchConfig{N: 0, Length: 5, T: 2, Model: cost.SC(0.1, 0.5), Factory: dom.StaticFactory}); err == nil {
 		t.Error("N = 0 accepted")
 	}
 }
@@ -491,7 +493,7 @@ func TestPrefixCompetitivenessUniform(t *testing.T) {
 // a search-based tightness probe for Theorem 4.
 func TestSearchRespectsTheorem4(t *testing.T) {
 	m := cost.MC(0.4, 1.0)
-	res, err := Search(SearchConfig{
+	res, err := Search(context.Background(), SearchConfig{
 		Model: m, Factory: dom.DynamicFactory,
 		N: 5, T: 2, Length: 14, Restarts: 3, Steps: 150, Seed: 21,
 	})
@@ -526,13 +528,13 @@ func TestAnnealedSearch(t *testing.T) {
 		Model: m, Factory: dom.StaticFactory,
 		N: 5, T: 2, Length: 16, Restarts: 2, Steps: 150, Seed: 7,
 	}
-	hill, err := Search(base)
+	hill, err := Search(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	annealed := base
 	annealed.Anneal = true
-	ann, err := Search(annealed)
+	ann, err := Search(context.Background(), annealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,7 +546,7 @@ func TestAnnealedSearch(t *testing.T) {
 		t.Errorf("annealed search found nothing: %.4f", ann.Ratio)
 	}
 	// Both are deterministic under fixed seeds.
-	ann2, err := Search(annealed)
+	ann2, err := Search(context.Background(), annealed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -560,7 +562,7 @@ func TestCrossoverInsidePaperBracket(t *testing.T) {
 	// there) nor above cd = 1 (DA provably wins there).
 	battery := DefaultBattery()
 	for _, cc := range []float64{0.1, 0.3} {
-		res, err := Crossover(cc, 2.0, 10, battery)
+		res, err := Crossover(context.Background(), CrossoverSpec{CC: cc, CDMax: 2.0, Iters: 10, Battery: battery})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -574,7 +576,7 @@ func TestCrossoverInsidePaperBracket(t *testing.T) {
 }
 
 func TestCrossoverValidation(t *testing.T) {
-	if _, err := Crossover(1.0, 0.5, 5, DefaultBattery()); err == nil {
+	if _, err := Crossover(context.Background(), CrossoverSpec{CC: 1.0, CDMax: 0.5, Iters: 5, Battery: DefaultBattery()}); err == nil {
 		t.Error("cdMax <= cc accepted")
 	}
 }
@@ -625,9 +627,12 @@ func TestShrinkRejectsWeakWitness(t *testing.T) {
 func TestFitAsymptoticRecoverstightSABound(t *testing.T) {
 	m := cost.SC(0.4, 1.1)
 	initial := model.NewSet(0, 1)
-	fit, err := FitAsymptotic(m, dom.StaticFactory,
-		func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
-		[]int{5, 10, 20, 40}, initial, 2)
+	fit, err := FitAsymptotic(context.Background(), FitSpec{
+		Model: m, Factory: dom.StaticFactory,
+		Family:  func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
+		Ks:      []int{5, 10, 20, 40},
+		Initial: initial, T: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -653,9 +658,12 @@ func TestFitAsymptoticRecoverstightSABound(t *testing.T) {
 func TestFitAsymptoticDegenerateFamily(t *testing.T) {
 	m := cost.MC(0.3, 1.0)
 	initial := model.NewSet(0, 1)
-	_, err := FitAsymptotic(m, dom.StaticFactory,
-		func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
-		[]int{5, 10, 20}, initial, 2)
+	_, err := FitAsymptotic(context.Background(), FitSpec{
+		Model: m, Factory: dom.StaticFactory,
+		Family:  func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
+		Ks:      []int{5, 10, 20},
+		Initial: initial, T: 2,
+	})
 	if err == nil {
 		t.Error("constant-OPT family fitted without error")
 	}
@@ -663,9 +671,12 @@ func TestFitAsymptoticDegenerateFamily(t *testing.T) {
 
 func TestFitAsymptoticValidation(t *testing.T) {
 	m := cost.SC(0.4, 1.1)
-	if _, err := FitAsymptotic(m, dom.StaticFactory,
-		func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
-		[]int{5}, model.NewSet(0, 1), 2); err == nil {
+	if _, err := FitAsymptotic(context.Background(), FitSpec{
+		Model: m, Factory: dom.StaticFactory,
+		Family:  func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
+		Ks:      []int{5},
+		Initial: model.NewSet(0, 1), T: 2,
+	}); err == nil {
 		t.Error("single size accepted")
 	}
 }
@@ -679,15 +690,18 @@ func TestFitAsymptoticDALowerBound(t *testing.T) {
 	m := cost.SC(0.05, 0.1)
 	initial := model.NewSet(0, 1)
 	readers := []model.ProcessorID{2, 3, 4, 5}
-	fit, err := FitAsymptotic(m, dom.DynamicFactory,
-		func(k int) model.Schedule {
+	fit, err := FitAsymptotic(context.Background(), FitSpec{
+		Model: m, Factory: dom.DynamicFactory,
+		Family: func(k int) model.Schedule {
 			s, err := adversary.DAPunisher(readers, 0, k)
 			if err != nil {
 				panic(err)
 			}
 			return s
 		},
-		[]int{5, 10, 20, 40}, initial, 2)
+		Ks:      []int{5, 10, 20, 40},
+		Initial: initial, T: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

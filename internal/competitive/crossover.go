@@ -1,10 +1,12 @@
 package competitive
 
 import (
+	"context"
 	"fmt"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 )
 
 // CrossoverResult locates, for one cc, the cd at which the measured
@@ -19,30 +21,68 @@ type CrossoverResult struct {
 	DAEverywhere bool
 }
 
+// CrossoverSpec configures the crossover bisection.
+type CrossoverSpec struct {
+	// CC is the fixed control-message cost; the bisection runs over
+	// cd in (CC, CDMax].
+	CC, CDMax float64
+	// Iters is the number of bisection steps; fewer than 1 means 10.
+	Iters int
+	// Battery is the schedule battery whose worst-case ratios decide the
+	// winner at each probed cd.
+	Battery BatteryConfig
+	// Parallelism bounds the concurrent schedule measurements inside each
+	// bisection step (the steps themselves are inherently sequential);
+	// zero or negative selects engine.DefaultParallelism.
+	Parallelism int
+}
+
 // Crossover bisects the measured SA/DA crossover on the cd axis for a
-// fixed cc, within (cc, cdMax], using iters bisection steps over the
-// battery's worst-case ratios. The paper's bounds only bracket this point
-// inside [0.5−cc, 1]; the measurement pins it down for a concrete battery.
-func Crossover(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverResult, error) {
+// fixed cc, within (cc, cdMax], using bisection over the battery's
+// worst-case ratios. The paper's bounds only bracket this point inside
+// [0.5−cc, 1]; the measurement pins it down for a concrete battery.
+//
+// The bisection itself is sequential, but each probe measures SA and DA
+// over the whole battery — those 2×|battery| evaluations run on the
+// engine's worker pool. Cancelling the context aborts the probe in
+// flight and returns ctx.Err().
+func Crossover(ctx context.Context, spec CrossoverSpec) (CrossoverResult, error) {
+	cc, cdMax, iters := spec.CC, spec.CDMax, spec.Iters
 	if cdMax <= cc {
 		return CrossoverResult{}, fmt.Errorf("competitive: cdMax (%g) must exceed cc (%g)", cdMax, cc)
 	}
 	if iters < 1 {
 		iters = 10
 	}
-	scheds := battery.Build()
-	initial := battery.Initial()
+	scheds := spec.Battery.Build()
+	initial := spec.Battery.Initial()
+	factories := []dom.Factory{dom.StaticFactory, dom.DynamicFactory}
 	daWins := func(cd float64) (bool, error) {
 		m := cost.SC(cc, cd)
-		sa, err := WorstRatio(m, dom.StaticFactory, scheds, initial, battery.T)
+		// One task per (factory, schedule) pair; the per-factory maxima
+		// are reduced in battery order, matching the serial WorstRatio.
+		ratios, err := engine.Collect(ctx, 2*len(scheds), spec.Parallelism, func(taskCtx context.Context, i int) (float64, error) {
+			meas, err := RatioContext(taskCtx, m, factories[i/len(scheds)], scheds[i%len(scheds)], initial, spec.Battery.T)
+			if err != nil {
+				return 0, err
+			}
+			return meas.Ratio, nil
+		})
 		if err != nil {
 			return false, err
 		}
-		da, err := WorstRatio(m, dom.DynamicFactory, scheds, initial, battery.T)
-		if err != nil {
-			return false, err
+		sa, da := -1.0, -1.0
+		for _, r := range ratios[:len(scheds)] {
+			if r > sa {
+				sa = r
+			}
 		}
-		return da.Ratio <= sa.Ratio, nil
+		for _, r := range ratios[len(scheds):] {
+			if r > da {
+				da = r
+			}
+		}
+		return da <= sa, nil
 	}
 
 	lo, hi := cc, cdMax
@@ -66,4 +106,12 @@ func Crossover(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverRe
 		}
 	}
 	return CrossoverResult{CC: cc, CD: (lo + hi) / 2}, nil
+}
+
+// CrossoverAt is the pre-engine positional form of Crossover.
+//
+// Deprecated: use Crossover with a CrossoverSpec and a context;
+// CrossoverAt runs with context.Background and default parallelism.
+func CrossoverAt(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverResult, error) {
+	return Crossover(context.Background(), CrossoverSpec{CC: cc, CDMax: cdMax, Iters: iters, Battery: battery})
 }

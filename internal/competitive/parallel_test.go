@@ -1,0 +1,230 @@
+package competitive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"objalloc/internal/adversary"
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+// BLIS Type-1 determinism: a parallel run must be byte-identical to a
+// serial run of the same seed. The table covers three fixed seeds for both
+// Sweep and Search, rendering the full result (every ratio, witness and
+// classification) and comparing the strings.
+func TestSweepParallelIdenticalToSerial(t *testing.T) {
+	for _, seed := range []int64{1, 1994, 424242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			spec := SweepSpec{
+				CDs:     []float64{0.2, 0.7, 1.2, 1.7},
+				CCs:     []float64{0.1, 0.5, 0.9},
+				Battery: BatteryConfig{N: 5, T: 2, RandomSchedules: 2, RandomLength: 16, NemesisRounds: 12},
+				Seed:    seed,
+			}
+			spec.Parallelism = 1
+			serial, err := Sweep(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Parallelism = 8
+			parallel, err := Sweep(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := fmt.Sprintf("%+v", serial), fmt.Sprintf("%+v", parallel); s != p {
+				t.Errorf("parallel sweep differs from serial:\nserial:   %s\nparallel: %s", s, p)
+			}
+		})
+	}
+}
+
+func TestSearchParallelIdenticalToSerial(t *testing.T) {
+	for _, seed := range []int64{3, 77, 1994} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := SearchConfig{
+				Model: cost.SC(0.3, 1.1), Factory: dom.DynamicFactory,
+				N: 5, T: 2, Length: 10, Restarts: 6, Steps: 30, Seed: seed,
+			}
+			cfg.Parallelism = 1
+			serial, err := Search(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Parallelism = 8
+			parallel, err := Search(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Ratio != parallel.Ratio ||
+				serial.Evaluations != parallel.Evaluations ||
+				serial.Schedule.String() != parallel.Schedule.String() {
+				t.Errorf("parallel search differs from serial:\nserial:   ratio %.6f evals %d %v\nparallel: ratio %.6f evals %d %v",
+					serial.Ratio, serial.Evaluations, serial.Schedule,
+					parallel.Ratio, parallel.Evaluations, parallel.Schedule)
+			}
+		})
+	}
+}
+
+// WorstRatioParallel must reproduce the serial WorstRatio exactly,
+// including which schedule is reported as the witness on ties.
+func TestWorstRatioParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultBattery()
+	scheds := cfg.Build()
+	for _, m := range []cost.Model{cost.SC(0.2, 0.8), cost.MC(0.3, 1.0)} {
+		serial, err := WorstRatio(m, dom.DynamicFactory, scheds, cfg.Initial(), cfg.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := WorstRatioParallel(context.Background(), m, dom.DynamicFactory, scheds, cfg.Initial(), cfg.T, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Ratio != parallel.Ratio || serial.Schedule.String() != parallel.Schedule.String() {
+			t.Errorf("%v: parallel worst (%.6f, %v) != serial (%.6f, %v)",
+				m, parallel.Ratio, parallel.Schedule, serial.Ratio, serial.Schedule)
+		}
+	}
+}
+
+// Crossover through the engine must agree with a hand-rolled serial
+// bisection over the same battery (the pre-engine algorithm).
+func TestCrossoverParallelMatchesSerialBisection(t *testing.T) {
+	battery := DefaultBattery()
+	got, err := Crossover(context.Background(), CrossoverSpec{CC: 0.2, CDMax: 2.0, Iters: 8, Battery: battery, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := battery.Build()
+	initial := battery.Initial()
+	daWins := func(cd float64) bool {
+		m := cost.SC(0.2, cd)
+		sa, err := WorstRatio(m, dom.StaticFactory, scheds, initial, battery.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, err := WorstRatio(m, dom.DynamicFactory, scheds, initial, battery.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return da.Ratio <= sa.Ratio
+	}
+	lo, hi := 0.2, 2.0
+	if daWins(lo) {
+		t.Fatal("DA wins at cd=cc; cannot compare bisections")
+	}
+	for i := 0; i < 8; i++ {
+		mid := (lo + hi) / 2
+		if daWins(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if want := (lo + hi) / 2; got.CD != want {
+		t.Errorf("engine crossover cd=%.6f, serial bisection cd=%.6f", got.CD, want)
+	}
+}
+
+// Cancelling mid-sweep must return ctx.Err() promptly and leave no
+// goroutines behind (acceptance criterion of the engine PR).
+func TestSweepCancellationPromptAndLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// A grid large enough that it cannot finish before the cancel lands.
+	grid := make([]float64, 40)
+	for i := range grid {
+		grid[i] = 0.05 + float64(i)*0.05
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := Sweep(ctx, SweepSpec{
+			CDs: grid, CCs: grid,
+			Battery:     DefaultBattery(),
+			Parallelism: 4,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let a few cells start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not return promptly after cancellation")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v", d)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// A context cancelled before the call must abort Search and FitAsymptotic
+// too.
+func TestSearchAndFitPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Search(ctx, SearchConfig{
+		Model: cost.SC(0.2, 0.8), Factory: dom.StaticFactory,
+		N: 4, T: 2, Length: 8, Restarts: 2, Steps: 20,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Search err = %v, want context.Canceled", err)
+	}
+	if _, err := FitAsymptotic(ctx, FitSpec{
+		Model: cost.SC(0.4, 1.1), Factory: dom.StaticFactory,
+		Family:  func(k int) model.Schedule { return adversary.SAPunisher(5, k) },
+		Ks:      []int{5, 10},
+		Initial: DefaultBattery().Initial(), T: 2,
+	}); err == nil {
+		t.Error("FitAsymptotic accepted a cancelled context")
+	}
+}
+
+// The deprecated positional wrappers must keep producing the same results
+// as the spec forms they delegate to.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	battery := BatteryConfig{N: 4, T: 2, RandomSchedules: 1, RandomLength: 10, NemesisRounds: 8, Seed: 11}
+	oldPoints, err := SweepGrid([]float64{0.5, 1.5}, []float64{0.2}, false, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPoints, err := Sweep(context.Background(), SweepSpec{CDs: []float64{0.5, 1.5}, CCs: []float64{0.2}, Battery: battery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", oldPoints) != fmt.Sprintf("%+v", newPoints) {
+		t.Error("SweepGrid disagrees with Sweep")
+	}
+
+	oldCr, err := CrossoverAt(0.2, 2.0, 6, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCr, err := Crossover(context.Background(), CrossoverSpec{CC: 0.2, CDMax: 2.0, Iters: 6, Battery: battery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldCr != newCr {
+		t.Errorf("CrossoverAt %+v disagrees with Crossover %+v", oldCr, newCr)
+	}
+}

@@ -12,11 +12,13 @@
 package competitive
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/model"
 	"objalloc/internal/opt"
 )
@@ -37,6 +39,13 @@ type Measurement struct {
 // validates the resulting allocation schedule, and compares its cost
 // against the exact offline optimum.
 func Ratio(m cost.Model, f dom.Factory, sched model.Schedule, initial model.Set, t int) (Measurement, error) {
+	return RatioContext(context.Background(), m, f, sched, initial, t)
+}
+
+// RatioContext is Ratio with cancellation: the dominating cost — the
+// offline-optimum DP — checks the context per request, so even a single
+// long measurement aborts promptly with ctx.Err().
+func RatioContext(ctx context.Context, m cost.Model, f dom.Factory, sched model.Schedule, initial model.Set, t int) (Measurement, error) {
 	las, err := dom.RunFactory(f, initial, t, sched)
 	if err != nil {
 		return Measurement{}, err
@@ -45,7 +54,7 @@ func Ratio(m cost.Model, f dom.Factory, sched model.Schedule, initial model.Set,
 		return Measurement{}, fmt.Errorf("competitive: algorithm produced invalid schedule: %w", err)
 	}
 	algCost := cost.ScheduleCost(m, las, initial)
-	optCost, err := opt.SolveCost(m, sched, initial, t)
+	optCost, err := opt.SolveCostContext(ctx, m, sched, initial, t)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -73,19 +82,54 @@ type Worst struct {
 // WorstRatio measures the algorithm on every schedule and returns the
 // maximum ratio together with the witness schedule.
 func WorstRatio(m cost.Model, f dom.Factory, scheds []model.Schedule, initial model.Set, t int) (Worst, error) {
+	return WorstRatioContext(context.Background(), m, f, scheds, initial, t)
+}
+
+// WorstRatioContext is WorstRatio with cancellation threaded into every
+// measurement (the DP checks the context per request). The engine's task
+// bodies use this form so that cancelling a sweep aborts mid-cell, not
+// just between cells.
+func WorstRatioContext(ctx context.Context, m cost.Model, f dom.Factory, scheds []model.Schedule, initial model.Set, t int) (Worst, error) {
 	if len(scheds) == 0 {
 		return Worst{}, fmt.Errorf("competitive: empty schedule battery")
 	}
 	var w Worst
 	w.Ratio = -1
 	for _, s := range scheds {
-		meas, err := Ratio(m, f, s, initial, t)
+		meas, err := RatioContext(ctx, m, f, s, initial, t)
 		if err != nil {
 			return Worst{}, err
 		}
 		if meas.Ratio > w.Ratio {
 			w.Measurement = meas
 			w.Schedule = s
+		}
+	}
+	return w, nil
+}
+
+// WorstRatioParallel is WorstRatio on the engine's worker pool: the
+// schedules are measured concurrently (bounded by parallelism; zero
+// selects the default) and the maximum is reduced in battery order with a
+// strict comparison, so the result — including the witness — is identical
+// to the serial WorstRatio. Cancelling the context aborts outstanding
+// measurements.
+func WorstRatioParallel(ctx context.Context, m cost.Model, f dom.Factory, scheds []model.Schedule, initial model.Set, t, parallelism int) (Worst, error) {
+	if len(scheds) == 0 {
+		return Worst{}, fmt.Errorf("competitive: empty schedule battery")
+	}
+	measurements, err := engine.Collect(ctx, len(scheds), parallelism, func(taskCtx context.Context, i int) (Measurement, error) {
+		return RatioContext(taskCtx, m, f, scheds[i], initial, t)
+	})
+	if err != nil {
+		return Worst{}, err
+	}
+	var w Worst
+	w.Ratio = -1
+	for i, meas := range measurements {
+		if meas.Ratio > w.Ratio {
+			w.Measurement = meas
+			w.Schedule = scheds[i]
 		}
 	}
 	return w, nil

@@ -1,10 +1,12 @@
 package competitive
 
 import (
+	"context"
 	"fmt"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 )
 
 // Region classifies one point of the (cd, cc) plane, as in the paper's
@@ -107,53 +109,93 @@ type GridPoint struct {
 	Empirical Region
 }
 
-// Sweep measures SA and DA over the battery at every point of a
-// (cd, cc) grid and classifies each point both analytically and
-// empirically. mobile selects the MC cost model (figure 2) instead of SC
-// (figure 1). The grids are the cd values crossed with the cc values;
-// points with cc > cd are marked cannot-be-true and skipped.
-func Sweep(cds, ccs []float64, mobile bool, battery BatteryConfig) ([]GridPoint, error) {
+// SweepSpec bundles everything a plane sweep needs: the grid, the cost
+// model family, the schedule battery, and the execution options of the
+// parallel engine.
+type SweepSpec struct {
+	// CDs and CCs are the grid axes; the sweep measures every (cd, cc)
+	// pair, iterating cc-major (points appear row by row of cc).
+	CDs, CCs []float64
+	// Mobile selects the MC cost model (figure 2) instead of SC
+	// (figure 1).
+	Mobile bool
+	// Battery is the schedule battery measured at every grid point.
+	Battery BatteryConfig
+	// Parallelism bounds the number of grid cells evaluated concurrently;
+	// zero or negative selects engine.DefaultParallelism (GOMAXPROCS).
+	// Results are identical for every value of Parallelism.
+	Parallelism int
+	// Seed, when nonzero, overrides Battery.Seed.
+	Seed int64
+}
+
+// Sweep measures SA and DA over the battery at every point of a (cd, cc)
+// grid and classifies each point both analytically and empirically.
+// Points with cc > cd are marked cannot-be-true and skipped.
+//
+// Grid cells are independent, so they are evaluated on the engine's
+// bounded worker pool; results are assembled in grid order and are
+// byte-identical to a serial run. Cancelling the context aborts the
+// remaining cells and returns ctx.Err().
+func Sweep(ctx context.Context, spec SweepSpec) ([]GridPoint, error) {
+	battery := spec.Battery
+	if spec.Seed != 0 {
+		battery.Seed = spec.Seed
+	}
+	// The battery is built once and shared read-only by all cells.
 	scheds := battery.Build()
 	initial := battery.Initial()
-	var points []GridPoint
-	for _, ccv := range ccs {
-		for _, cdv := range cds {
-			p := GridPoint{CC: ccv, CD: cdv}
-			if mobile {
-				p.Analytic = AnalyticRegionMC(ccv, cdv)
-			} else {
-				p.Analytic = AnalyticRegionSC(ccv, cdv)
-			}
-			if p.Analytic == RegionCannotBeTrue {
-				p.Empirical = RegionCannotBeTrue
-				points = append(points, p)
-				continue
-			}
-			var m cost.Model
-			if mobile {
-				m = cost.MC(ccv, cdv)
-			} else {
-				m = cost.SC(ccv, cdv)
-			}
-			sa, err := WorstRatio(m, dom.StaticFactory, scheds, initial, battery.T)
-			if err != nil {
-				return nil, fmt.Errorf("competitive: sweep SA at cc=%g cd=%g: %w", ccv, cdv, err)
-			}
-			da, err := WorstRatio(m, dom.DynamicFactory, scheds, initial, battery.T)
-			if err != nil {
-				return nil, fmt.Errorf("competitive: sweep DA at cc=%g cd=%g: %w", ccv, cdv, err)
-			}
-			p.SAWorst, p.DAWorst = sa.Ratio, da.Ratio
-			switch {
-			case sa.Ratio < da.Ratio:
-				p.Empirical = RegionSASuperior
-			case da.Ratio < sa.Ratio:
-				p.Empirical = RegionDASuperior
-			default:
-				p.Empirical = RegionUnknown
-			}
-			points = append(points, p)
+
+	type cell struct{ cc, cd float64 }
+	cells := make([]cell, 0, len(spec.CCs)*len(spec.CDs))
+	for _, ccv := range spec.CCs {
+		for _, cdv := range spec.CDs {
+			cells = append(cells, cell{ccv, cdv})
 		}
 	}
-	return points, nil
+	return engine.Collect(ctx, len(cells), spec.Parallelism, func(ctx context.Context, i int) (GridPoint, error) {
+		ccv, cdv := cells[i].cc, cells[i].cd
+		p := GridPoint{CC: ccv, CD: cdv}
+		if spec.Mobile {
+			p.Analytic = AnalyticRegionMC(ccv, cdv)
+		} else {
+			p.Analytic = AnalyticRegionSC(ccv, cdv)
+		}
+		if p.Analytic == RegionCannotBeTrue {
+			p.Empirical = RegionCannotBeTrue
+			return p, nil
+		}
+		var m cost.Model
+		if spec.Mobile {
+			m = cost.MC(ccv, cdv)
+		} else {
+			m = cost.SC(ccv, cdv)
+		}
+		sa, err := WorstRatioContext(ctx, m, dom.StaticFactory, scheds, initial, battery.T)
+		if err != nil {
+			return p, fmt.Errorf("competitive: sweep SA at cc=%g cd=%g: %w", ccv, cdv, err)
+		}
+		da, err := WorstRatioContext(ctx, m, dom.DynamicFactory, scheds, initial, battery.T)
+		if err != nil {
+			return p, fmt.Errorf("competitive: sweep DA at cc=%g cd=%g: %w", ccv, cdv, err)
+		}
+		p.SAWorst, p.DAWorst = sa.Ratio, da.Ratio
+		switch {
+		case sa.Ratio < da.Ratio:
+			p.Empirical = RegionSASuperior
+		case da.Ratio < sa.Ratio:
+			p.Empirical = RegionDASuperior
+		default:
+			p.Empirical = RegionUnknown
+		}
+		return p, nil
+	})
+}
+
+// SweepGrid is the pre-engine positional form of Sweep.
+//
+// Deprecated: use Sweep with a SweepSpec and a context; SweepGrid runs
+// with context.Background and default parallelism.
+func SweepGrid(cds, ccs []float64, mobile bool, battery BatteryConfig) ([]GridPoint, error) {
+	return Sweep(context.Background(), SweepSpec{CDs: cds, CCs: ccs, Mobile: mobile, Battery: battery})
 }

@@ -1,12 +1,14 @@
 package competitive
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/model"
 )
 
@@ -29,7 +31,8 @@ type SearchConfig struct {
 	// Restarts and Steps control the budget: Restarts independent climbs
 	// of Steps mutations each.
 	Restarts, Steps int
-	// Seed makes the search reproducible.
+	// Seed makes the search reproducible: restart r climbs with the RNG
+	// stream engine.TaskSeed(Seed, r), independent of scheduling.
 	Seed int64
 	// Anneal enables simulated annealing: a worsening mutation is
 	// accepted with probability exp(Δratio/temperature), with the
@@ -38,6 +41,11 @@ type SearchConfig struct {
 	Anneal bool
 	// InitialTemp and Cooling tune annealing; zero means 0.05 and 0.995.
 	InitialTemp, Cooling float64
+	// Parallelism bounds the number of restarts climbing concurrently;
+	// zero or negative selects engine.DefaultParallelism. The result is
+	// identical for every value of Parallelism: restarts are independent
+	// and ties between equal ratios go to the earliest restart.
+	Parallelism int
 }
 
 // SearchResult is the best adversarial schedule found.
@@ -49,8 +57,12 @@ type SearchResult struct {
 
 // Search runs randomized hill-climbing: each restart begins from a random
 // schedule and repeatedly mutates one position (accepting non-decreasing
-// ratios), keeping the best schedule seen overall.
-func Search(cfg SearchConfig) (SearchResult, error) {
+// ratios), keeping the best schedule seen overall. Restarts are
+// independent climbs, so they run on the engine's worker pool; each
+// restart derives its RNG from (Seed, restart index), which makes the
+// outcome independent of both scheduling and Parallelism. Cancelling the
+// context aborts outstanding restarts and returns ctx.Err().
+func Search(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
 	if cfg.N < 1 || cfg.Length < 1 {
 		return SearchResult{}, fmt.Errorf("competitive: search needs N >= 1 and Length >= 1")
 	}
@@ -63,11 +75,31 @@ func Search(cfg SearchConfig) (SearchResult, error) {
 	if cfg.Cooling == 0 {
 		cfg.Cooling = 0.995
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	initial := model.FullSet(cfg.T)
+
+	climbs, err := engine.Collect(ctx, cfg.Restarts, cfg.Parallelism, func(ctx context.Context, r int) (SearchResult, error) {
+		return cfg.climb(ctx, engine.TaskRNG(cfg.Seed, r))
+	})
+	if err != nil {
+		return SearchResult{}, err
+	}
+
+	// Reduce in restart order with a strict improvement test: ties keep
+	// the earliest restart, so the reduction is deterministic.
 	var best SearchResult
 	best.Ratio = -1
+	for _, c := range climbs {
+		best.Evaluations += c.Evaluations
+		if c.Ratio > best.Ratio {
+			best.Worst = c.Worst
+		}
+	}
+	return best, nil
+}
 
+// climb is one restart: a random starting schedule followed by Steps
+// single-position mutations.
+func (cfg SearchConfig) climb(ctx context.Context, rng *rand.Rand) (SearchResult, error) {
+	initial := model.FullSet(cfg.T)
 	randomReq := func() model.Request {
 		p := model.ProcessorID(rng.Intn(cfg.N))
 		if rng.Intn(2) == 0 {
@@ -76,49 +108,52 @@ func Search(cfg SearchConfig) (SearchResult, error) {
 		return model.R(p)
 	}
 
-	for r := 0; r < cfg.Restarts; r++ {
-		cur := make(model.Schedule, cfg.Length)
-		for i := range cur {
-			cur[i] = randomReq()
+	var best SearchResult
+	best.Ratio = -1
+
+	cur := make(model.Schedule, cfg.Length)
+	for i := range cur {
+		cur[i] = randomReq()
+	}
+	meas, err := RatioContext(ctx, cfg.Model, cfg.Factory, cur, initial, cfg.T)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	best.Evaluations++
+	curRatio := meas.Ratio
+	best.Measurement = meas
+	best.Schedule = cur.Clone()
+
+	temp := cfg.InitialTemp
+	for s := 0; s < cfg.Steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return SearchResult{}, err
 		}
-		meas, err := Ratio(cfg.Model, cfg.Factory, cur, initial, cfg.T)
+		pos := rng.Intn(cfg.Length)
+		old := cur[pos]
+		cur[pos] = randomReq()
+		if cur[pos] == old {
+			continue
+		}
+		meas, err := RatioContext(ctx, cfg.Model, cfg.Factory, cur, initial, cfg.T)
 		if err != nil {
 			return SearchResult{}, err
 		}
 		best.Evaluations++
-		curRatio := meas.Ratio
-		if curRatio > best.Ratio {
-			best.Measurement = meas
-			best.Schedule = cur.Clone()
+		accept := meas.Ratio >= curRatio
+		if !accept && cfg.Anneal {
+			accept = rng.Float64() < math.Exp((meas.Ratio-curRatio)/temp)
 		}
-		temp := cfg.InitialTemp
-		for s := 0; s < cfg.Steps; s++ {
-			pos := rng.Intn(cfg.Length)
-			old := cur[pos]
-			cur[pos] = randomReq()
-			if cur[pos] == old {
-				continue
+		if accept {
+			curRatio = meas.Ratio
+			if meas.Ratio > best.Ratio {
+				best.Measurement = meas
+				best.Schedule = cur.Clone()
 			}
-			meas, err := Ratio(cfg.Model, cfg.Factory, cur, initial, cfg.T)
-			if err != nil {
-				return SearchResult{}, err
-			}
-			best.Evaluations++
-			accept := meas.Ratio >= curRatio
-			if !accept && cfg.Anneal {
-				accept = rng.Float64() < math.Exp((meas.Ratio-curRatio)/temp)
-			}
-			if accept {
-				curRatio = meas.Ratio
-				if meas.Ratio > best.Ratio {
-					best.Measurement = meas
-					best.Schedule = cur.Clone()
-				}
-			} else {
-				cur[pos] = old
-			}
-			temp *= cfg.Cooling
+		} else {
+			cur[pos] = old
 		}
+		temp *= cfg.Cooling
 	}
 	return best, nil
 }

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectOrderedAndComplete(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Collect(context.Background(), 50, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// A parallel Collect must be byte-identical to a serial one: results are
+// keyed by index and per-task RNG streams depend only on (seed, index).
+func TestCollectDeterministicAcrossParallelism(t *testing.T) {
+	run := func(workers int) string {
+		out, err := Collect(context.Background(), 20, workers, func(_ context.Context, i int) (float64, error) {
+			rng := TaskRNG(42, i)
+			var sum float64
+			for j := 0; j < 100; j++ {
+				sum += rng.Float64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%v", out)
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d produced different results than serial", workers)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errBoom := errors.New("boom")
+	err := Map(context.Background(), 100, 4, func(_ context.Context, i int) error {
+		if i == 7 || i == 60 {
+			return fmt.Errorf("task %d: %w", i, errBoom)
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Task 7 always runs before task 60 is the lowest *reported* failure:
+	// with 4 workers task 60 cannot be dispatched before task 7 finishes
+	// or fails, so the reported index must be 7.
+	if got := err.Error(); got != "task 7: boom" {
+		t.Errorf("expected the lowest-indexed error, got %q", got)
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	errBoom := errors.New("boom")
+	err := Map(context.Background(), 10000, 2, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Errorf("dispatch did not stop after the error: %d tasks ran", n)
+	}
+}
+
+func TestMapContextCancellationPromptAndLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- Map(ctx, 1<<20, 4, func(taskCtx context.Context, i int) error {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			// Simulate a slow cell that observes cancellation.
+			select {
+			case <-taskCtx.Done():
+				return taskCtx.Err()
+			case <-time.After(5 * time.Millisecond):
+				return nil
+			}
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Map did not return promptly after cancellation")
+	}
+
+	// All workers must have exited: no goroutine leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Map(ctx, 100, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestMapZeroTasksAndNilContext(t *testing.T) {
+	if err := Map(context.Background(), 0, 4, nil); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := Map(nil, 3, 0, func(_ context.Context, _ int) error { return nil }); err != nil { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+func TestTaskSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 1000; i++ {
+		s := TaskSeed(1994, i)
+		if s2 := TaskSeed(1994, i); s2 != s {
+			t.Fatalf("TaskSeed not deterministic at index %d", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("TaskSeed collision: indices %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if TaskSeed(1, 0) == TaskSeed(2, 0) {
+		t.Error("different bases produced the same seed")
+	}
+}
+
+func TestDefaultParallelism(t *testing.T) {
+	if DefaultParallelism() < 1 {
+		t.Error("DefaultParallelism < 1")
+	}
+	if clampWorkers(0, 10) < 1 || clampWorkers(99, 3) != 3 || clampWorkers(2, 10) != 2 {
+		t.Error("clampWorkers wrong")
+	}
+}

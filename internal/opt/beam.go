@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,6 +68,12 @@ type beamState struct {
 //     to the writer plus the t-1 processors with the most upcoming reads;
 //     or return to the initial scheme.
 func Beam(m cost.Model, sched model.Schedule, initial model.Set, t int, width int) (*BeamResult, error) {
+	return BeamContext(context.Background(), m, sched, initial, t, width)
+}
+
+// BeamContext is Beam with cancellation: the search checks the context
+// between requests and aborts with ctx.Err() when it is cancelled.
+func BeamContext(ctx context.Context, m cost.Model, sched model.Schedule, initial model.Set, t int, width int) (*BeamResult, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,6 +95,9 @@ func Beam(m cost.Model, sched model.Schedule, initial model.Set, t int, width in
 
 	beam := []beamState{{scheme: initial}}
 	for k, q := range sched {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var next []beamState
 		for _, st := range beam {
 			for _, step := range candidateSteps(q, st.scheme, initial, universe, upcoming[k], t) {

@@ -35,6 +35,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -131,22 +132,35 @@ type solver struct {
 // SolveCost returns the optimal offline cost without reconstructing an
 // allocation schedule; it uses O(2^n) memory regardless of schedule length.
 func SolveCost(m cost.Model, sched model.Schedule, initial model.Set, t int) (float64, error) {
+	return SolveCostContext(context.Background(), m, sched, initial, t)
+}
+
+// SolveCostContext is SolveCost with cancellation: the DP checks the
+// context between requests and aborts with ctx.Err() when it is
+// cancelled. The DP relaxes O(n·2^n) states per request, so the check
+// granularity is fine enough to return promptly.
+func SolveCostContext(ctx context.Context, m cost.Model, sched model.Schedule, initial model.Set, t int) (float64, error) {
 	s, err := newSolver(m, sched, initial, t, false)
 	if err != nil {
 		return 0, err
 	}
-	return s.run(sched, initial, false)
+	return s.run(ctx, sched, initial, false)
 }
 
 // Solve returns the optimal offline cost together with one optimal
 // allocation schedule, reconstructed by traceback. Memory grows linearly
 // with the schedule length.
 func Solve(m cost.Model, sched model.Schedule, initial model.Set, t int) (*Result, error) {
+	return SolveContext(context.Background(), m, sched, initial, t)
+}
+
+// SolveContext is Solve with cancellation, as SolveCostContext.
+func SolveContext(ctx context.Context, m cost.Model, sched model.Schedule, initial model.Set, t int) (*Result, error) {
 	s, err := newSolver(m, sched, initial, t, true)
 	if err != nil {
 		return nil, err
 	}
-	best, err := s.run(sched, initial, true)
+	best, err := s.run(ctx, sched, initial, true)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +197,7 @@ func newSolver(m cost.Model, sched model.Schedule, initial model.Set, t int, tra
 	return s, nil
 }
 
-func (s *solver) run(sched model.Schedule, initial model.Set, trace bool) (float64, error) {
+func (s *solver) run(ctx context.Context, sched model.Schedule, initial model.Set, trace bool) (float64, error) {
 	init, err := s.u.compress(initial)
 	if err != nil {
 		return 0, err
@@ -194,6 +208,9 @@ func (s *solver) run(sched model.Schedule, initial model.Set, trace bool) (float
 	s.dp[init] = 0
 
 	for k, q := range sched {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		var parent []uint32
 		if trace {
 			parent = make([]uint32, len(s.dp))

@@ -25,6 +25,7 @@
 package objalloc
 
 import (
+	"context"
 	"math/rand"
 
 	"objalloc/internal/advisor"
@@ -33,6 +34,7 @@ import (
 	"objalloc/internal/competitive"
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
+	"objalloc/internal/engine"
 	"objalloc/internal/feed"
 	"objalloc/internal/ha"
 	"objalloc/internal/hetero"
@@ -46,6 +48,21 @@ import (
 	"objalloc/internal/trace"
 	"objalloc/internal/workload"
 )
+
+// ---- Parallel evaluation engine ----
+//
+// Every long-running evaluation entry point (plane sweeps, adversarial
+// search, crossover bisection, asymptotic fits, the offline optimum) has a
+// context-aware form that runs on a shared bounded worker pool and can be
+// cancelled. The context-free forms below are kept as thin deprecated
+// wrappers so existing callers build unchanged; they run with
+// context.Background and the default parallelism. Parallel runs are
+// deterministic: for the same seed the results are byte-identical to a
+// serial (Parallelism: 1) run.
+
+// DefaultParallelism is the worker count used when a spec leaves its
+// Parallelism field at zero: one worker per usable CPU.
+func DefaultParallelism() int { return engine.DefaultParallelism() }
 
 // ---- Formal model (§3.1) ----
 
@@ -148,19 +165,34 @@ func Run(alg Algorithm, sched Schedule) AllocSchedule { return dom.Run(alg, sche
 
 // ---- Offline optimum and competitiveness (§4.1) ----
 
-// OptimalCost returns the cost of the optimal offline t-available DOM
-// algorithm on the schedule — the competitive yardstick.
+// OptimalCostContext returns the cost of the optimal offline t-available
+// DOM algorithm on the schedule — the competitive yardstick. The DP checks
+// the context between requests and aborts with ctx.Err() on cancellation.
+func OptimalCostContext(ctx context.Context, m CostModel, sched Schedule, initial Set, t int) (float64, error) {
+	return opt.SolveCostContext(ctx, m, sched, initial, t)
+}
+
+// OptimalCost is the context-free form of OptimalCostContext.
+//
+// Deprecated: use OptimalCostContext so long solves can be cancelled.
 func OptimalCost(m CostModel, sched Schedule, initial Set, t int) (float64, error) {
-	return opt.SolveCost(m, sched, initial, t)
+	return OptimalCostContext(context.Background(), m, sched, initial, t)
 }
 
 // OptimalResult carries the optimum's cost and one optimal allocation
 // schedule.
 type OptimalResult = opt.Result
 
-// Optimal additionally reconstructs an optimal allocation schedule.
+// OptimalContext additionally reconstructs an optimal allocation schedule.
+func OptimalContext(ctx context.Context, m CostModel, sched Schedule, initial Set, t int) (*OptimalResult, error) {
+	return opt.SolveContext(ctx, m, sched, initial, t)
+}
+
+// Optimal is the context-free form of OptimalContext.
+//
+// Deprecated: use OptimalContext so long solves can be cancelled.
 func Optimal(m CostModel, sched Schedule, initial Set, t int) (*OptimalResult, error) {
-	return opt.Solve(m, sched, initial, t)
+	return OptimalContext(context.Background(), m, sched, initial, t)
 }
 
 // Measurement compares an algorithm's cost against the optimum on one
@@ -188,10 +220,27 @@ type BatteryConfig = competitive.BatteryConfig
 // DefaultBattery is the battery used by the figure sweeps.
 func DefaultBattery() BatteryConfig { return competitive.DefaultBattery() }
 
+// SweepSpec bundles a plane sweep's grid, cost-model family (Mobile),
+// battery, Parallelism and Seed. The zero Parallelism means
+// DefaultParallelism; a nonzero Seed overrides Battery.Seed.
+type SweepSpec = competitive.SweepSpec
+
+// SweepContext measures SA and DA over a (cd, cc) grid on the parallel
+// engine, reproducing figure 1 (Mobile: false) or figure 2 (Mobile: true).
+// Grid cells are evaluated concurrently; the results are in grid order and
+// byte-identical to a serial run of the same seed. Cancelling the context
+// aborts the remaining cells and returns ctx.Err().
+func SweepContext(ctx context.Context, spec SweepSpec) ([]GridPoint, error) {
+	return competitive.Sweep(ctx, spec)
+}
+
 // Sweep measures SA and DA over a (cd, cc) grid, reproducing figure 1
 // (mobile=false) or figure 2 (mobile=true).
+//
+// Deprecated: use SweepContext with a SweepSpec; Sweep runs with
+// context.Background and default parallelism.
 func Sweep(cds, ccs []float64, mobile bool, battery BatteryConfig) ([]GridPoint, error) {
-	return competitive.Sweep(cds, ccs, mobile, battery)
+	return competitive.Sweep(context.Background(), SweepSpec{CDs: cds, CCs: ccs, Mobile: mobile, Battery: battery})
 }
 
 // RenderGrid draws a sweep as an ASCII region map in the style of the
@@ -207,9 +256,22 @@ type SearchConfig = competitive.SearchConfig
 // SearchResult is the best adversarial schedule found.
 type SearchResult = competitive.SearchResult
 
-// SearchWorstCase looks for schedules maximizing an algorithm's cost ratio
-// against the offline optimum.
-func SearchWorstCase(cfg SearchConfig) (SearchResult, error) { return competitive.Search(cfg) }
+// SearchWorstCaseContext looks for schedules maximizing an algorithm's
+// cost ratio against the offline optimum. Restarts run concurrently on the
+// parallel engine (bounded by cfg.Parallelism), each with an RNG stream
+// derived from (Seed, restart index), so the outcome is identical for any
+// parallelism. Cancelling the context aborts outstanding restarts.
+func SearchWorstCaseContext(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
+	return competitive.Search(ctx, cfg)
+}
+
+// SearchWorstCase is the context-free form of SearchWorstCaseContext.
+//
+// Deprecated: use SearchWorstCaseContext so long searches can be
+// cancelled.
+func SearchWorstCase(cfg SearchConfig) (SearchResult, error) {
+	return competitive.Search(context.Background(), cfg)
+}
 
 // ShrinkWitness minimizes an adversarial witness while keeping its ratio
 // at or above keepRatio.
@@ -220,10 +282,27 @@ func ShrinkWitness(m CostModel, f Factory, sched Schedule, initial Set, t int, k
 // CrossoverResult locates the measured SA/DA crossover on the cd axis.
 type CrossoverResult = competitive.CrossoverResult
 
-// Crossover bisects the cd at which the measured worst-case winner flips
-// from SA to DA for a fixed cc.
+// CrossoverSpec configures a crossover bisection; see CrossoverContext.
+type CrossoverSpec = competitive.CrossoverSpec
+
+// CrossoverContext bisects the cd at which the measured worst-case winner
+// flips from SA to DA for a fixed cc. The bisection itself is sequential
+// (each probe depends on the last), but every probe measures the whole
+// schedule battery for both algorithms concurrently on the parallel
+// engine, bounded by spec.Parallelism. Cancelling the context aborts the
+// probe in flight.
+func CrossoverContext(ctx context.Context, spec CrossoverSpec) (CrossoverResult, error) {
+	return competitive.Crossover(ctx, spec)
+}
+
+// Crossover is the positional, context-free form of CrossoverContext.
+//
+// Deprecated: use CrossoverContext with a CrossoverSpec; Crossover runs
+// with context.Background and default parallelism.
 func Crossover(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverResult, error) {
-	return competitive.Crossover(cc, cdMax, iters, battery)
+	return competitive.Crossover(context.Background(), CrossoverSpec{
+		CC: cc, CDMax: cdMax, Iters: iters, Battery: battery,
+	})
 }
 
 // ScheduleFamily generates the k-th member of a growing schedule family.
@@ -233,9 +312,27 @@ type ScheduleFamily = competitive.Family
 // its additive constant (intercept) on a schedule family.
 type AsymptoticFit = competitive.AsymptoticFit
 
-// FitAsymptotic least-squares-fits COST_A ≈ α·COST_OPT + β over a family.
+// FitSpec configures an asymptotic fit; see FitAsymptoticContext.
+type FitSpec = competitive.FitSpec
+
+// FitAsymptoticContext least-squares-fits COST_A ≈ α·COST_OPT + β over a
+// schedule family. Family members are measured concurrently on the
+// parallel engine (one task per k, bounded by spec.Parallelism); the fit
+// over the ordered measurements is identical to a serial run. Cancelling
+// the context aborts outstanding measurements.
+func FitAsymptoticContext(ctx context.Context, spec FitSpec) (AsymptoticFit, error) {
+	return competitive.FitAsymptotic(ctx, spec)
+}
+
+// FitAsymptotic is the positional, context-free form of
+// FitAsymptoticContext.
+//
+// Deprecated: use FitAsymptoticContext with a FitSpec; FitAsymptotic runs
+// with context.Background and default parallelism.
 func FitAsymptotic(m CostModel, f Factory, family ScheduleFamily, ks []int, initial Set, t int) (AsymptoticFit, error) {
-	return competitive.FitAsymptotic(m, f, family, ks, initial, t)
+	return competitive.FitAsymptotic(context.Background(), FitSpec{
+		Model: m, Factory: f, Family: family, Ks: ks, Initial: initial, T: t,
+	})
 }
 
 // ---- Executable distributed system ----
@@ -306,9 +403,17 @@ func OptimalLowerBound(m CostModel, sched Schedule, t int) float64 {
 // BeamResult carries the beam-search approximation of the offline optimum.
 type BeamResult = opt.BeamResult
 
-// OptimalBeam approximates the offline optimum by beam search — an upper
-// bound on the optimal cost that scales past the exact solver's
-// 16-processor limit.
+// OptimalBeamContext approximates the offline optimum by beam search — an
+// upper bound on the optimal cost that scales past the exact solver's
+// 16-processor limit. The search checks the context between requests and
+// aborts with ctx.Err() when it is cancelled.
+func OptimalBeamContext(ctx context.Context, m CostModel, sched Schedule, initial Set, t, width int) (*BeamResult, error) {
+	return opt.BeamContext(ctx, m, sched, initial, t, width)
+}
+
+// OptimalBeam is the context-free form of OptimalBeamContext.
+//
+// Deprecated: use OptimalBeamContext so long searches can be cancelled.
 func OptimalBeam(m CostModel, sched Schedule, initial Set, t, width int) (*BeamResult, error) {
 	return opt.Beam(m, sched, initial, t, width)
 }

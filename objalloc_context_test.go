@@ -1,0 +1,131 @@
+package objalloc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"objalloc"
+)
+
+func contextBattery() objalloc.BatteryConfig {
+	battery := objalloc.DefaultBattery()
+	battery.RandomSchedules, battery.RandomLength, battery.NemesisRounds = 2, 12, 10
+	return battery
+}
+
+// The deprecated positional facade and the context facade must agree: the
+// wrapper is a delegation, not a second implementation.
+func TestFacadeSweepContextMatchesDeprecated(t *testing.T) {
+	battery := contextBattery()
+	cds, ccs := []float64{0.5, 1.5}, []float64{0.2}
+	oldPoints, err := objalloc.Sweep(cds, ccs, false, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPoints, err := objalloc.SweepContext(context.Background(), objalloc.SweepSpec{
+		CDs: cds, CCs: ccs, Battery: battery, Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", oldPoints) != fmt.Sprintf("%+v", newPoints) {
+		t.Errorf("SweepContext disagrees with deprecated Sweep:\nold: %+v\nnew: %+v", oldPoints, newPoints)
+	}
+}
+
+// Cancelling mid-sweep through the facade must surface context.Canceled.
+func TestFacadeSweepContextCancellation(t *testing.T) {
+	grid := make([]float64, 30)
+	for i := range grid {
+		grid[i] = 0.05 + float64(i)*0.06
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := objalloc.SweepContext(ctx, objalloc.SweepSpec{
+			CDs: grid, CCs: grid, Battery: objalloc.DefaultBattery(), Parallelism: 4,
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not return after cancellation")
+	}
+}
+
+// Every context entry point must refuse an already-cancelled context.
+func TestFacadePreCancelledContexts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := objalloc.SC(0.3, 1.2)
+	sched := objalloc.MustParseSchedule("w2 r4 w3 r1 r2")
+	initial := objalloc.NewSet(0, 1)
+
+	if _, err := objalloc.OptimalCostContext(ctx, m, sched, initial, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalCostContext err = %v, want context.Canceled", err)
+	}
+	if _, err := objalloc.OptimalContext(ctx, m, sched, initial, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalContext err = %v, want context.Canceled", err)
+	}
+	if _, err := objalloc.OptimalBeamContext(ctx, m, sched, initial, 2, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimalBeamContext err = %v, want context.Canceled", err)
+	}
+	if _, err := objalloc.SearchWorstCaseContext(ctx, objalloc.SearchConfig{
+		Model: m, Factory: objalloc.DynamicFactory,
+		N: 4, T: 2, Length: 8, Restarts: 2, Steps: 20,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchWorstCaseContext err = %v, want context.Canceled", err)
+	}
+	if _, err := objalloc.CrossoverContext(ctx, objalloc.CrossoverSpec{
+		CC: 0.2, CDMax: 2.0, Iters: 4, Battery: contextBattery(),
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("CrossoverContext err = %v, want context.Canceled", err)
+	}
+}
+
+// SearchWorstCaseContext must be deterministic across parallelism through
+// the facade, and the deprecated form must match Parallelism-default runs.
+func TestFacadeSearchContextDeterministic(t *testing.T) {
+	cfg := objalloc.SearchConfig{
+		Model: objalloc.SC(0.3, 1.1), Factory: objalloc.DynamicFactory,
+		N: 5, T: 2, Length: 10, Restarts: 4, Steps: 25, Seed: 7,
+	}
+	cfg.Parallelism = 1
+	serial, err := objalloc.SearchWorstCaseContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	parallel, err := objalloc.SearchWorstCaseContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Ratio != parallel.Ratio || serial.Schedule.String() != parallel.Schedule.String() {
+		t.Errorf("facade search not deterministic: serial %.6f %v, parallel %.6f %v",
+			serial.Ratio, serial.Schedule, parallel.Ratio, parallel.Schedule)
+	}
+
+	cfg.Parallelism = 0
+	deprecated, err := objalloc.SearchWorstCase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deprecated.Ratio != serial.Ratio {
+		t.Errorf("deprecated SearchWorstCase ratio %.6f != context form %.6f", deprecated.Ratio, serial.Ratio)
+	}
+}
+
+func TestFacadeDefaultParallelism(t *testing.T) {
+	if objalloc.DefaultParallelism() < 1 {
+		t.Errorf("DefaultParallelism() = %d, want >= 1", objalloc.DefaultParallelism())
+	}
+}
