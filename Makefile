@@ -1,7 +1,9 @@
 # Tier-1 verification: build, vet, test, race-test. All four must pass.
-.PHONY: verify build vet test race bench
+# obscheck additionally vets the instrumentation package on its own and
+# runs the observability determinism tests under the race detector.
+.PHONY: verify build vet test race bench obscheck profile
 
-verify: build vet test race
+verify: build vet test race obscheck
 
 build:
 	go build ./...
@@ -17,3 +19,15 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+obscheck:
+	go vet ./internal/obs
+	go test -race -run 'TestSweepObsDeterminism|TestSearchObsDeterminism' ./internal/competitive
+	go test -race ./internal/obs
+
+# profile runs a small figure-1 sweep under CPU profiling and leaves the
+# profile next to the metrics stream; inspect with `go tool pprof`.
+profile:
+	go run ./cmd/figure1 -steps 6 -cpuprofile figure1.cpu.pprof -metrics figure1.metrics.jsonl -progress
+	@echo "wrote figure1.cpu.pprof and figure1.metrics.jsonl"
+	@echo "inspect with: go tool pprof figure1.cpu.pprof"

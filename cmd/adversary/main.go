@@ -8,6 +8,11 @@
 //
 //	adversary [-alg da] [-cc 0.3] [-cd 1.2] [-mobile] [-n 5] [-t 2]
 //	          [-len 16] [-restarts 8] [-steps 300] [-seed 1]
+//	          [-metrics out.jsonl] [-progress] [-pprof addr]
+//
+// -metrics streams one JSON line per search restart plus a final registry
+// snapshot, -progress reports restart progress on stderr, and -pprof
+// serves net/http/pprof and expvar on the given address.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"objalloc/internal/dom"
 	"objalloc/internal/engine"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 )
 
 func main() {
@@ -44,11 +50,26 @@ func main() {
 		anneal   = flag.Bool("anneal", false, "use simulated annealing instead of plain hill-climbing")
 		shrink   = flag.Bool("shrink", true, "minimize the best witness found")
 		parallel = flag.Int("parallel", engine.DefaultParallelism(), "concurrent search restarts")
+		metrics  = flag.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
+		progress = flag.Bool("progress", false, "report search progress on stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Metrics: *metrics, Progress: *progress, PprofAddr: *pprof, Label: "adversary",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var m cost.Model
 	if *mobile {
@@ -107,8 +128,10 @@ func main() {
 		N: *n, T: *t, Length: *length,
 		Restarts: *restarts, Steps: *steps, Seed: *seed,
 		Anneal: *anneal, Parallelism: *parallel,
+		Obs: cli.Obs(),
 	})
 	if err != nil {
+		cli.Close()
 		log.Fatal(err)
 	}
 	method := "hill-climbing"

@@ -15,6 +15,12 @@
 //	domsim [-protocol da] [-n 8] [-t 2] [-workload uniform] [-len 200]
 //	       [-pwrite 0.3] [-cc 0.3] [-cd 1.2] [-seed 1] [-disk dir]
 //	       [-concurrent] [-verify] [-failover]
+//	       [-metrics out.jsonl] [-progress] [-pprof addr]
+//
+// -metrics streams one JSON line per executed request (messages by type,
+// I/Os, allocation-scheme transitions) plus a final registry snapshot,
+// -progress reports request progress on stderr, and -pprof serves
+// net/http/pprof and expvar on the given address.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"objalloc/internal/dom"
 	"objalloc/internal/ha"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 	"objalloc/internal/sim"
 	"objalloc/internal/storage"
 	"objalloc/internal/trace"
@@ -56,8 +63,23 @@ func main() {
 		recordPath = flag.String("record", "", "capture the run as a JSON trace at this path")
 		replayPath = flag.String("replay", "", "replay a recorded JSON trace and verify it (ignores other workload flags)")
 		failover   = flag.Bool("failover", false, "demonstrate DA -> quorum failover and recovery mid-run")
+		metrics    = flag.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
+		progress   = flag.Bool("progress", false, "report request progress on stderr")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Metrics: *metrics, Progress: *progress, PprofAddr: *pprofAddr, Label: "domsim",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	if *replayPath != "" {
 		rec, err := trace.Load(*replayPath)
@@ -115,7 +137,7 @@ func main() {
 	}
 
 	if *failover {
-		runFailover(*n, *t, initial, sched)
+		runFailover(*n, *t, initial, sched, cli.Obs())
 		return
 	}
 
@@ -130,7 +152,7 @@ func main() {
 		log.Fatalf("unknown protocol %q", *protocol)
 	}
 
-	c, err := sim.New(sim.Config{N: *n, T: *t, Protocol: proto, Initial: initial, NewStore: newStore})
+	c, err := sim.New(sim.Config{N: *n, T: *t, Protocol: proto, Initial: initial, NewStore: newStore, Obs: cli.Obs()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -187,9 +209,11 @@ func main() {
 	}
 }
 
-// runFailover demonstrates the §2 failure story end to end.
-func runFailover(n, t int, initial model.Set, sched model.Schedule) {
-	h, err := ha.New(ha.Config{N: n, T: t, Initial: initial})
+// runFailover demonstrates the §2 failure story end to end. The observed
+// portion of the event stream is the quorum phase: each quorum operation
+// between the crash and the failback emits one event.
+func runFailover(n, t int, initial model.Set, sched model.Schedule, o *obs.Obs) {
+	h, err := ha.New(ha.Config{N: n, T: t, Initial: initial, Obs: o})
 	if err != nil {
 		log.Fatal(err)
 	}

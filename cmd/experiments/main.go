@@ -7,6 +7,12 @@
 // Usage:
 //
 //	experiments [-quick] [-experiment E5]
+//	            [-metrics out.jsonl] [-progress] [-pprof addr]
+//
+// -metrics streams the instrumented experiments' events (sweep cells,
+// search restarts, crossover probes, fit members, quorum operations) plus
+// a final registry snapshot, -progress reports task progress on stderr,
+// and -pprof serves net/http/pprof and expvar on the given address.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"objalloc/internal/hetero"
 	"objalloc/internal/latency"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 	"objalloc/internal/opt"
 	"objalloc/internal/sim"
 	"objalloc/internal/stats"
@@ -41,14 +48,22 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "smaller batteries (for CI smoke runs)")
-	only     = flag.String("experiment", "", "run a single experiment, e.g. E5")
-	parallel = flag.Int("parallel", engine.DefaultParallelism(), "worker-pool size for sweeps, searches and fits")
+	quick     = flag.Bool("quick", false, "smaller batteries (for CI smoke runs)")
+	only      = flag.String("experiment", "", "run a single experiment, e.g. E5")
+	parallel  = flag.Int("parallel", engine.DefaultParallelism(), "worker-pool size for sweeps, searches and fits")
+	metrics   = flag.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
+	progress  = flag.Bool("progress", false, "report task progress on stderr")
+	pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 )
 
 // runCtx is cancelled by ctrl-C; the grid-shaped experiments pass it to the
 // parallel engine so an interrupt aborts outstanding cells promptly.
 var runCtx = context.Background()
+
+// runObs is the shared instrumentation bundle (nil when no -metrics,
+// -progress or -pprof was given); the instrumented experiments thread it
+// into their specs next to runCtx.
+var runObs *obs.Obs
 
 type experiment struct {
 	id, title string
@@ -63,6 +78,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	runCtx = ctx
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Metrics: *metrics, Progress: *progress, PprofAddr: *pprofAddr, Label: "experiments",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	runObs = cli.Obs()
 
 	all := []experiment{
 		{"E1", "Figure 1 — SC superiority regions", e1Figure1},
@@ -121,7 +149,7 @@ func e1Figure1() {
 	}
 	points, err := competitive.Sweep(runCtx, competitive.SweepSpec{
 		CDs: gridValues(steps), CCs: gridValues(steps),
-		Battery: battery(), Parallelism: *parallel,
+		Battery: battery(), Parallelism: *parallel, Obs: runObs,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,7 +177,7 @@ func e2Figure2() {
 	}
 	points, err := competitive.Sweep(runCtx, competitive.SweepSpec{
 		CDs: gridValues(steps), CCs: gridValues(steps), Mobile: true,
-		Battery: battery(), Parallelism: *parallel,
+		Battery: battery(), Parallelism: *parallel, Obs: runObs,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -367,7 +395,7 @@ func e12AverageCase() {
 }
 
 func e13Failover() {
-	h, err := ha.New(ha.Config{N: 6, T: 2, Initial: model.NewSet(0, 1)})
+	h, err := ha.New(ha.Config{N: 6, T: 2, Initial: model.NewSet(0, 1), Obs: runObs})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -627,7 +655,7 @@ func e21Gap() {
 		res, err := competitive.Search(runCtx, competitive.SearchConfig{
 			Model: m, Factory: dom.DynamicFactory,
 			N: 5, T: 2, Length: 18, Restarts: 4, Steps: steps, Seed: 13,
-			Parallelism: *parallel,
+			Parallelism: *parallel, Obs: runObs,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -642,7 +670,7 @@ func e21Gap() {
 				return s
 			},
 			Ks: []int{10, 20, 40, 80}, Initial: initial, T: 2,
-			Parallelism: *parallel,
+			Parallelism: *parallel, Obs: runObs,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -662,7 +690,7 @@ func e22Crossover() {
 	tbl := stats.NewTable("cc", "paper bracket", "measured crossover cd")
 	for _, cc := range []float64{0.05, 0.1, 0.2, 0.3} {
 		res, err := competitive.Crossover(runCtx, competitive.CrossoverSpec{
-			CC: cc, CDMax: 2.0, Iters: 12, Battery: cfg, Parallelism: *parallel,
+			CC: cc, CDMax: 2.0, Iters: 12, Battery: cfg, Parallelism: *parallel, Obs: runObs,
 		})
 		if err != nil {
 			log.Fatal(err)

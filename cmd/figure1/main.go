@@ -12,6 +12,13 @@
 // Usage:
 //
 //	figure1 [-max 2] [-steps 8] [-n 5] [-t 2] [-seed 1994]
+//	        [-metrics out.jsonl] [-progress] [-pprof addr] [-cpuprofile out.pprof]
+//
+// -metrics streams one JSON line per grid cell plus a final registry
+// snapshot; two runs with the same seed produce byte-identical files
+// regardless of -parallel. -progress reports sweep progress on stderr,
+// -pprof serves net/http/pprof and expvar on the given address, and
+// -cpuprofile writes a CPU profile of the whole run.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 
 	"objalloc/internal/competitive"
 	"objalloc/internal/engine"
+	"objalloc/internal/obs"
 )
 
 func main() {
@@ -37,6 +45,10 @@ func main() {
 		seed     = flag.Int64("seed", 1994, "battery seed")
 		rounds   = flag.Int("rounds", 60, "nemesis schedule rounds")
 		parallel = flag.Int("parallel", engine.DefaultParallelism(), "concurrent grid cells")
+		metrics  = flag.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
 	if *steps < 2 || *maxCost <= 0 {
@@ -45,6 +57,19 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Metrics: *metrics, Progress: *progress, PprofAddr: *pprof,
+		CPUProfile: *cpuProf, Label: "figure1",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	battery := competitive.DefaultBattery()
 	battery.N, battery.T, battery.Seed, battery.NemesisRounds = *n, *t, *seed, *rounds
@@ -55,8 +80,10 @@ func main() {
 	}
 	points, err := competitive.Sweep(ctx, competitive.SweepSpec{
 		CDs: grid, CCs: grid, Battery: battery, Parallelism: *parallel,
+		Obs: cli.Obs(),
 	})
 	if err != nil {
+		cli.Close()
 		log.Fatal(err)
 	}
 

@@ -8,6 +8,11 @@
 // Usage:
 //
 //	figure2 [-max 2] [-steps 8] [-n 5] [-t 2] [-seed 1994]
+//	        [-metrics out.jsonl] [-progress] [-pprof addr]
+//
+// -metrics streams one JSON line per grid cell plus a final registry
+// snapshot, -progress reports sweep progress on stderr, and -pprof serves
+// net/http/pprof and expvar on the given address.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"objalloc/internal/dom"
 	"objalloc/internal/engine"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 	"objalloc/internal/stats"
 )
 
@@ -38,11 +44,26 @@ func main() {
 		seed     = flag.Int64("seed", 1994, "battery seed")
 		rounds   = flag.Int("rounds", 60, "nemesis schedule rounds")
 		parallel = flag.Int("parallel", engine.DefaultParallelism(), "concurrent grid cells")
+		metrics  = flag.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Metrics: *metrics, Progress: *progress, PprofAddr: *pprof, Label: "figure2",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	battery := competitive.DefaultBattery()
 	battery.N, battery.T, battery.Seed, battery.NemesisRounds = *n, *t, *seed, *rounds
@@ -53,8 +74,10 @@ func main() {
 	}
 	points, err := competitive.Sweep(ctx, competitive.SweepSpec{
 		CDs: grid, CCs: grid, Mobile: true, Battery: battery, Parallelism: *parallel,
+		Obs: cli.Obs(),
 	})
 	if err != nil {
+		cli.Close()
 		log.Fatal(err)
 	}
 

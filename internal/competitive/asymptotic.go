@@ -8,6 +8,7 @@ import (
 	"objalloc/internal/dom"
 	"objalloc/internal/engine"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 )
 
 // Family generates the k-th member of a growing schedule family, e.g. the
@@ -54,6 +55,10 @@ type FitSpec struct {
 	// Parallelism bounds the concurrent family-member measurements; zero
 	// or negative selects engine.DefaultParallelism.
 	Parallelism int
+	// Obs attaches the instrumentation layer: after all members are
+	// measured, one "fit_member" event per k is emitted in Ks order. Nil
+	// disables instrumentation.
+	Obs *obs.Obs
 }
 
 // FitAsymptotic measures the algorithm and the optimum on each family
@@ -66,7 +71,7 @@ func FitAsymptotic(ctx context.Context, spec FitSpec) (AsymptoticFit, error) {
 	if len(spec.Ks) < 2 {
 		return AsymptoticFit{}, fmt.Errorf("competitive: need at least two family sizes")
 	}
-	measurements, err := engine.Collect(ctx, len(spec.Ks), spec.Parallelism, func(taskCtx context.Context, i int) (Measurement, error) {
+	measurements, err := engine.CollectObserved(ctx, len(spec.Ks), spec.Parallelism, spec.Obs.Hook(), func(taskCtx context.Context, i int) (Measurement, error) {
 		return RatioContext(taskCtx, m, f, spec.Family(spec.Ks[i]), spec.Initial, t)
 	})
 	if err != nil {
@@ -74,9 +79,17 @@ func FitAsymptotic(ctx context.Context, spec FitSpec) (AsymptoticFit, error) {
 	}
 	xs := make([]float64, 0, len(spec.Ks))
 	ys := make([]float64, 0, len(spec.Ks))
-	for _, meas := range measurements {
+	for i, meas := range measurements {
 		xs = append(xs, meas.OptCost)
 		ys = append(ys, meas.AlgCost)
+		if o := spec.Obs; o.Enabled() {
+			o.Emit(obs.Event{Name: "fit_member", Attrs: []obs.Attr{
+				obs.Int("k", spec.Ks[i]),
+				obs.Float("alg", meas.AlgCost),
+				obs.Float("opt", meas.OptCost),
+			}})
+			o.Counter("fit.members").Inc()
+		}
 	}
 	// Least squares.
 	var sumX, sumY, sumXX, sumXY float64

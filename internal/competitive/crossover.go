@@ -7,6 +7,7 @@ import (
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
 	"objalloc/internal/engine"
+	"objalloc/internal/obs"
 )
 
 // CrossoverResult locates, for one cc, the cd at which the measured
@@ -35,6 +36,10 @@ type CrossoverSpec struct {
 	// bisection step (the steps themselves are inherently sequential);
 	// zero or negative selects engine.DefaultParallelism.
 	Parallelism int
+	// Obs attaches the instrumentation layer: each bisection probe emits
+	// one "probe" event. Probes are sequential, so emission order is the
+	// bisection order for every Parallelism. Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // Crossover bisects the measured SA/DA crossover on the cd axis for a
@@ -82,7 +87,18 @@ func Crossover(ctx context.Context, spec CrossoverSpec) (CrossoverResult, error)
 				da = r
 			}
 		}
-		return da <= sa, nil
+		win := da <= sa
+		if o := spec.Obs; o.Enabled() {
+			o.Emit(obs.Event{Name: "probe", Attrs: []obs.Attr{
+				obs.Float("cc", cc),
+				obs.Float("cd", cd),
+				obs.Float("sa_worst", sa),
+				obs.Float("da_worst", da),
+				obs.Bool("da_wins", win),
+			}})
+			o.Counter("crossover.probes").Inc()
+		}
+		return win, nil
 	}
 
 	lo, hi := cc, cdMax

@@ -7,6 +7,7 @@ import (
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
 	"objalloc/internal/engine"
+	"objalloc/internal/obs"
 )
 
 // Region classifies one point of the (cd, cc) plane, as in the paper's
@@ -127,6 +128,12 @@ type SweepSpec struct {
 	Parallelism int
 	// Seed, when nonzero, overrides Battery.Seed.
 	Seed int64
+	// Obs attaches the instrumentation layer: the engine reports task
+	// progress through its Observer, and after the sweep completes one
+	// "cell" event per grid point is emitted in grid order (so the event
+	// stream is identical for every Parallelism). Nil disables
+	// instrumentation.
+	Obs *obs.Obs
 }
 
 // Sweep measures SA and DA over the battery at every point of a (cd, cc)
@@ -153,7 +160,7 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]GridPoint, error) {
 			cells = append(cells, cell{ccv, cdv})
 		}
 	}
-	return engine.Collect(ctx, len(cells), spec.Parallelism, func(ctx context.Context, i int) (GridPoint, error) {
+	points, err := engine.CollectObserved(ctx, len(cells), spec.Parallelism, spec.Obs.Hook(), func(ctx context.Context, i int) (GridPoint, error) {
 		ccv, cdv := cells[i].cc, cells[i].cd
 		p := GridPoint{CC: ccv, CD: cdv}
 		if spec.Mobile {
@@ -190,6 +197,43 @@ func Sweep(ctx context.Context, spec SweepSpec) ([]GridPoint, error) {
 		}
 		return p, nil
 	})
+	if err != nil {
+		return points, err
+	}
+	emitSweep(spec.Obs, points)
+	return points, nil
+}
+
+// emitSweep renders the finished sweep into the instrumentation layer: one
+// "cell" event per grid point, in grid order, plus registry totals. It runs
+// single-threaded after Collect has assembled the points, so the emission
+// is deterministic regardless of how the cells were scheduled.
+func emitSweep(o *obs.Obs, points []GridPoint) {
+	if !o.Enabled() {
+		return
+	}
+	for _, p := range points {
+		attrs := []obs.Attr{
+			obs.Float("cc", p.CC),
+			obs.Float("cd", p.CD),
+			obs.String("analytic", p.Analytic.String()),
+			obs.String("empirical", p.Empirical.String()),
+		}
+		if p.Analytic != RegionCannotBeTrue {
+			attrs = append(attrs,
+				obs.Float("sa_worst", p.SAWorst),
+				obs.Float("da_worst", p.DAWorst))
+			// Histograms are integer-only (determinism), so ratios are
+			// recorded in milli-units.
+			o.Histogram("sweep.sa_ratio_milli", 1000, 1250, 1500, 2000, 3000, 4000, 6000).Observe(int64(p.SAWorst * 1000))
+			o.Histogram("sweep.da_ratio_milli", 1000, 1250, 1500, 2000, 3000, 4000, 6000).Observe(int64(p.DAWorst * 1000))
+		} else {
+			o.Counter("sweep.cells.skipped").Inc()
+		}
+		o.Emit(obs.Event{Name: "cell", Attrs: attrs})
+		o.Counter("sweep.cells").Inc()
+		o.Counter("sweep.cells." + p.Empirical.String()).Inc()
+	}
 }
 
 // SweepGrid is the pre-engine positional form of Sweep.

@@ -10,6 +10,7 @@ import (
 	"objalloc/internal/dom"
 	"objalloc/internal/engine"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 )
 
 // SearchConfig drives the adversarial schedule search: randomized
@@ -46,6 +47,11 @@ type SearchConfig struct {
 	// identical for every value of Parallelism: restarts are independent
 	// and ties between equal ratios go to the earliest restart.
 	Parallelism int
+	// Obs attaches the instrumentation layer: the engine reports restart
+	// progress through its Observer, and after the search completes one
+	// "restart" event per climb is emitted in restart order. Nil disables
+	// instrumentation.
+	Obs *obs.Obs
 }
 
 // SearchResult is the best adversarial schedule found.
@@ -76,7 +82,7 @@ func Search(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
 		cfg.Cooling = 0.995
 	}
 
-	climbs, err := engine.Collect(ctx, cfg.Restarts, cfg.Parallelism, func(ctx context.Context, r int) (SearchResult, error) {
+	climbs, err := engine.CollectObserved(ctx, cfg.Restarts, cfg.Parallelism, cfg.Obs.Hook(), func(ctx context.Context, r int) (SearchResult, error) {
 		return cfg.climb(ctx, engine.TaskRNG(cfg.Seed, r))
 	})
 	if err != nil {
@@ -84,13 +90,26 @@ func Search(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
 	}
 
 	// Reduce in restart order with a strict improvement test: ties keep
-	// the earliest restart, so the reduction is deterministic.
+	// the earliest restart, so the reduction is deterministic. Events are
+	// emitted from the same ordered loop, so the stream is identical for
+	// every Parallelism.
+	o := cfg.Obs
 	var best SearchResult
 	best.Ratio = -1
-	for _, c := range climbs {
+	for r, c := range climbs {
 		best.Evaluations += c.Evaluations
 		if c.Ratio > best.Ratio {
 			best.Worst = c.Worst
+		}
+		if o.Enabled() {
+			o.Emit(obs.Event{Name: "restart", Attrs: []obs.Attr{
+				obs.Int("index", r),
+				obs.Float("ratio", c.Ratio),
+				obs.Int("evaluations", c.Evaluations),
+			}})
+			o.Counter("search.restarts").Inc()
+			o.Counter("search.evaluations").Add(int64(c.Evaluations))
+			o.Histogram("search.ratio_milli", 1000, 1250, 1500, 2000, 3000, 4000, 6000).Observe(int64(c.Ratio * 1000))
 		}
 	}
 	return best, nil

@@ -24,9 +24,12 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"objalloc/internal/obs"
 )
 
 // DefaultParallelism is the worker count used when a caller leaves its
@@ -54,6 +57,14 @@ func clampWorkers(workers, n int) int {
 // of the lowest-indexed failed task, or the parent context's error when
 // the run was cancelled from outside, or nil.
 func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	return MapObserved(ctx, n, workers, nil, fn)
+}
+
+// MapObserved is Map with an observer hook: the observer (if non-nil)
+// receives RunStart/TaskStart/TaskDone/RunDone callbacks from the worker
+// goroutines, for progress reporting and queue-depth telemetry. An
+// unobserved run pays one nil-check per task.
+func MapObserved(ctx context.Context, n, workers int, ob obs.Observer, fn func(ctx context.Context, i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -61,6 +72,10 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 		return ctx.Err()
 	}
 	workers = clampWorkers(workers, n)
+	if ob != nil {
+		ob.RunStart(n)
+		defer ob.RunDone()
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -81,7 +96,14 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 				if i >= n || runCtx.Err() != nil {
 					return
 				}
-				if err := fn(runCtx, i); err != nil {
+				if ob != nil {
+					ob.TaskStart(i)
+				}
+				err := fn(runCtx, i)
+				if ob != nil {
+					ob.TaskDone(i, err)
+				}
+				if err != nil {
 					mu.Lock()
 					if firstIdx < 0 || i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -95,6 +117,15 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 	}
 	wg.Wait()
 	if firstErr != nil {
+		// A cancelled parent context makes tasks fail with (wrapped)
+		// context errors; surfacing one of those as "the" failure points
+		// the caller at an arbitrary cell instead of the cancellation.
+		// Report the parent's own error for that case and reserve task
+		// errors for genuine failures.
+		if ctxErr := ctx.Err(); ctxErr != nil &&
+			(errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded)) {
+			return ctxErr
+		}
 		return firstErr
 	}
 	return ctx.Err()
@@ -105,8 +136,13 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 // indistinguishable from a serial one. On error the partial results are
 // discarded and the first error (as defined by Map) is returned.
 func Collect[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return CollectObserved(ctx, n, workers, nil, fn)
+}
+
+// CollectObserved is Collect with an observer hook; see MapObserved.
+func CollectObserved[T any](ctx context.Context, n, workers int, ob obs.Observer, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Map(ctx, n, workers, func(ctx context.Context, i int) error {
+	err := MapObserved(ctx, n, workers, ob, func(ctx context.Context, i int) error {
 		v, err := fn(ctx, i)
 		if err != nil {
 			return err

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression: when the parent context is cancelled mid-run, tasks fail
+// with errors wrapping context.Canceled; Map must report the parent's own
+// error instead of pointing at whichever cell happened to fail first.
+func TestMapReportsParentContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := Map(ctx, 64, 4, func(ctx context.Context, i int) error {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return fmt.Errorf("cell %d: %w", i, ctx.Err())
+	})
+	if err != context.Canceled {
+		t.Fatalf("Map returned %v, want context.Canceled itself", err)
+	}
+}
+
+// Deadline variant of the same contract.
+func TestMapReportsParentDeadlineError(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := Map(ctx, 64, 4, func(ctx context.Context, i int) error {
+		<-ctx.Done()
+		return fmt.Errorf("cell %d: %w", i, ctx.Err())
+	})
+	if !errors.Is(err, context.DeadlineExceeded) || err != context.DeadlineExceeded {
+		t.Fatalf("Map returned %v, want context.DeadlineExceeded itself", err)
+	}
+}
+
+// recordingObserver records the observer callback sequence.
+type recordingObserver struct {
+	mu       sync.Mutex
+	total    int
+	starts   []int
+	dones    []int
+	errs     int
+	runDones int
+}
+
+func (r *recordingObserver) RunStart(total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += total
+}
+
+func (r *recordingObserver) TaskStart(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts = append(r.starts, i)
+}
+
+func (r *recordingObserver) TaskDone(i int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dones = append(r.dones, i)
+	if err != nil {
+		r.errs++
+	}
+}
+
+func (r *recordingObserver) RunDone() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runDones++
+}
+
+func TestMapObservedLifecycle(t *testing.T) {
+	const n = 23
+	rec := &recordingObserver{}
+	err := MapObserved(context.Background(), n, 4, rec, func(ctx context.Context, i int) error {
+		if i == 5 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected task error")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.total != n {
+		t.Fatalf("RunStart total = %d, want %d", rec.total, n)
+	}
+	if rec.runDones != 1 {
+		t.Fatalf("RunDone fired %d times", rec.runDones)
+	}
+	if len(rec.starts) != len(rec.dones) {
+		t.Fatalf("%d TaskStart vs %d TaskDone", len(rec.starts), len(rec.dones))
+	}
+	if rec.errs != 1 {
+		t.Fatalf("TaskDone saw %d errors, want 1", rec.errs)
+	}
+	seen := make(map[int]bool)
+	for _, i := range rec.dones {
+		if seen[i] {
+			t.Fatalf("task %d completed twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestCollectObservedSuccess(t *testing.T) {
+	const n = 10
+	rec := &recordingObserver{}
+	out, err := CollectObserved(context.Background(), n, 3, rec, func(ctx context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.dones) != n || rec.errs != 0 || rec.runDones != 1 {
+		t.Fatalf("observer saw dones=%d errs=%d runDones=%d", len(rec.dones), rec.errs, rec.runDones)
+	}
+}

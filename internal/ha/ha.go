@@ -31,6 +31,7 @@ import (
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
 	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
 	"objalloc/internal/quorum"
 	"objalloc/internal/sim"
 	"objalloc/internal/storage"
@@ -67,6 +68,13 @@ type Config struct {
 	Initial model.Set
 	// NewStore optionally overrides the per-processor local database.
 	NewStore func(id model.ProcessorID) (storage.Store, error)
+	// Obs attaches the instrumentation layer. In failure mode every
+	// quorum Read/Write/Recover emits a per-operation event; in normal
+	// (DA) mode the simulator emits per-request events only when driven
+	// through Run, which this per-request facade does not use — so an
+	// observed failover run shows exactly the failure-mode phase in its
+	// event stream. Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // Cluster is the mode-switching engine.
@@ -116,7 +124,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	da, err := sim.New(sim.Config{
 		N: cfg.N, T: cfg.T, Protocol: sim.DA, Initial: cfg.Initial,
-		NewStore: h.adopt,
+		NewStore: h.adopt, Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -233,7 +241,7 @@ func (h *Cluster) failoverLocked() error {
 	h.accumulate(h.da.Network().Stats())
 	h.da.Close()
 	h.da = nil
-	q, err := quorum.New(quorum.Config{N: h.cfg.N, NewStore: h.adopt})
+	q, err := quorum.New(quorum.Config{N: h.cfg.N, NewStore: h.adopt, Obs: h.cfg.Obs})
 	if err != nil {
 		return fmt.Errorf("ha: failover: %w", err)
 	}
@@ -335,7 +343,7 @@ func (h *Cluster) failbackLocked() error {
 	}
 	da, err := sim.New(sim.Config{
 		N: h.cfg.N, T: h.cfg.T, Protocol: sim.DA, Initial: scheme,
-		NewStore: h.adopt, AdoptStores: true, FirstSeq: latest,
+		NewStore: h.adopt, AdoptStores: true, FirstSeq: latest, Obs: h.cfg.Obs,
 	})
 	if err != nil {
 		return fmt.Errorf("ha: failback: %w", err)

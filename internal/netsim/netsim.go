@@ -77,6 +77,10 @@ const (
 	TQuorumWrite
 	// TQuorumAck acknowledges a quorum write (control).
 	TQuorumAck
+
+	// NumTypes bounds the message-type space; per-type counters are
+	// indexed by Type.
+	NumTypes = int(TQuorumAck) + 1
 )
 
 // DefaultKind returns the billing class the paper assigns to each message
@@ -122,11 +126,15 @@ func (m Message) Kind() Kind { return m.Type.DefaultKind() }
 // Stats are the cumulative network counters. ControlSent/DataSent are the
 // quantities the cost model multiplies by cc and cd; messages to crashed or
 // partitioned destinations are still billed (the sender transmitted them)
-// but counted in Dropped as well.
+// but counted in Dropped as well. PerType breaks the same sends down by
+// protocol message type, so the instrumentation layer can attribute each
+// request's messages (read requests vs invalidations vs write pushes...)
+// rather than only the control/data split the cost model prices.
 type Stats struct {
 	ControlSent int
 	DataSent    int
 	Dropped     int
+	PerType     [NumTypes]int
 }
 
 // Network is the simulated interconnect.
@@ -189,6 +197,9 @@ func (nw *Network) Endpoint(id model.ProcessorID) (*Endpoint, error) {
 // link is partitioned, or the destination id is unknown. Send never blocks.
 func (nw *Network) Send(m Message) {
 	nw.mu.Lock()
+	if int(m.Type) >= 0 && int(m.Type) < NumTypes {
+		nw.stats.PerType[m.Type]++
+	}
 	if m.Kind() == Control {
 		nw.stats.ControlSent++
 		if ns := nw.perNode[m.From]; ns != nil {

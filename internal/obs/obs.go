@@ -1,0 +1,253 @@
+// Package obs is the instrumentation layer of the repository: typed
+// counters and bucketed histograms behind an atomic Registry, a structured
+// event sink the executed protocols (package sim, package quorum) and the
+// evaluation stack (package competitive) emit per-request and per-cell
+// events into, and an Observer hook through which the parallel engine
+// (package engine) reports task lifecycle for progress lines and live
+// profiling endpoints.
+//
+// The paper's whole argument is cost accounting — every control/data
+// message and I/O a DOM algorithm issues over a schedule — so a run must
+// be auditable at the level of individual requests, not just end-of-run
+// totals. obs makes every experiment an artifact: a JSONL event stream a
+// mismatch can be traced through with jq, plus a final registry snapshot
+// for exact assertions.
+//
+// Two design rules keep the layer honest:
+//
+//   - Unobserved runs pay one nil-check. Every hook is nil-safe: a nil
+//     *Obs, *Registry, *Counter, *Histogram, or Observer is a no-op, so
+//     instrumented code calls obs.Counter(...).Add(1) unconditionally.
+//   - Determinism. Counters and histograms record only integer quantities
+//     via commutative atomic adds, and snapshots render in sorted name
+//     order, so a run's registry snapshot is byte-identical for any
+//     parallelism and across repeated runs with the same seed. Wall-clock
+//     telemetry (task durations, ETA) lives exclusively in the Observer —
+//     it never enters the registry or the event stream.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero Counter is
+// usable; a nil Counter ignores updates, which is how unregistered code
+// paths stay free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. A nil Counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a bucketed distribution of integer observations. Bounds are
+// inclusive upper bounds of each bucket; one implicit overflow bucket
+// catches everything above the last bound. Observations are integers by
+// design: message counts, I/Os, schedule lengths, and milli-scaled ratios
+// are all integral, and integer sums are associative, so histogram
+// snapshots are identical for any observation order (float sums would not
+// be).
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Safe on a nil receiver; lock-free and
+// allocation-free otherwise.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Registry is a concurrent-registration, atomic-update metrics registry.
+// Metric handles are stable: look them up once, update lock-free after.
+// A nil Registry hands out nil handles, so unobserved code pays only the
+// nil-checks inside Counter.Add/Histogram.Observe.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counts: make(map[string]*Counter), hists: make(map[string]*Histogram)}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// Registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later bounds are ignored — the first registration
+// wins). Bounds must be in increasing order. A nil Registry returns a nil
+// (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]int64(nil), bounds...), buckets: make([]atomic.Int64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterPoint is one counter of a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramPoint is one histogram of a snapshot. Buckets[i] counts
+// observations v <= Bounds[i]; the final bucket is the overflow.
+type HistogramPoint struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ordered by metric name,
+// so two snapshots of runs that performed the same atomic updates — in any
+// interleaving — compare and render identically.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. A nil Registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.Value()})
+	}
+	for name, h := range r.hists {
+		p := HistogramPoint{
+			Name:   name,
+			Count:  h.count.Load(),
+			Sum:    h.sum.Load(),
+			Bounds: append([]int64(nil), h.bounds...),
+		}
+		for i := range h.buckets {
+			p.Buckets = append(p.Buckets, h.buckets[i].Load())
+		}
+		s.Histograms = append(s.Histograms, p)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Emit renders the snapshot into the sink as one "counter" event per
+// counter and one "histogram" event per histogram, in name order — the
+// "final registry dump" section of a metrics JSONL file.
+func (s Snapshot) Emit(sink Sink) {
+	if sink == nil {
+		return
+	}
+	for _, c := range s.Counters {
+		sink.Emit(Event{Name: "counter", Attrs: []Attr{
+			String("name", c.Name), Int64("value", c.Value),
+		}})
+	}
+	for _, h := range s.Histograms {
+		sink.Emit(Event{Name: "histogram", Attrs: []Attr{
+			String("name", h.Name), Int64("count", h.Count), Int64("sum", h.Sum),
+			Int64s("bounds", h.Bounds), Int64s("buckets", h.Buckets),
+		}})
+	}
+}
+
+// Obs bundles the three instrumentation channels a run can be given: a
+// Registry for counters/histograms, a Sink for structured events, and an
+// Observer for engine task telemetry. Any field may be nil; a nil *Obs
+// disables everything, and every accessor is nil-safe so call sites read
+// as straight-line code with no conditionals.
+type Obs struct {
+	Registry *Registry
+	Sink     Sink
+	Observer Observer
+}
+
+// Counter returns the named counter, or a nil no-op handle.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Counter(name)
+}
+
+// Histogram returns the named histogram, or a nil no-op handle.
+func (o *Obs) Histogram(name string, bounds ...int64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Histogram(name, bounds...)
+}
+
+// Emit sends an event into the sink, if any.
+func (o *Obs) Emit(e Event) {
+	if o == nil || o.Sink == nil {
+		return
+	}
+	o.Sink.Emit(e)
+}
+
+// Hook returns the Observer, or nil.
+func (o *Obs) Hook() Observer {
+	if o == nil {
+		return nil
+	}
+	return o.Observer
+}
+
+// Enabled reports whether any instrumentation is attached.
+func (o *Obs) Enabled() bool { return o != nil }

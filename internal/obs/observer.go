@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Observer receives the task lifecycle of a parallel-engine run (or of a
+// simulator schedule, which reports each request as a task). All methods
+// may be called concurrently from worker goroutines; implementations
+// synchronize internally. Wall-clock telemetry — per-task duration, queue
+// depth, ETA — lives here and only here, keeping registries and event
+// streams deterministic.
+type Observer interface {
+	// RunStart announces a run of total tasks. Runs may follow one
+	// another on the same Observer (a bisection performs one run per
+	// probe); totals accumulate.
+	RunStart(total int)
+	// TaskStart announces that task index began executing.
+	TaskStart(index int)
+	// TaskDone announces that task index finished, with its error if any.
+	TaskDone(index int, err error)
+	// RunDone announces that the run's tasks have all finished.
+	RunDone()
+}
+
+// Progress is an Observer that prints periodic progress lines —
+// "done/total tasks, queue depth, mean task time, ETA" — to a writer,
+// normally stderr. It also tracks per-task wall-clock and peak queue
+// depth for the final summary line printed by Finish.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	interval time.Duration
+	now      func() time.Time // test hook
+
+	total, done, failed int
+	inflight, peak      int
+	busy                time.Duration
+	started             time.Time
+	starts              map[int]time.Time
+	lastPrint           time.Time
+	finished            bool
+}
+
+// NewProgress returns a progress reporter writing to w at most once per
+// interval (zero means every completion — useful in tests). The label
+// prefixes every line.
+func NewProgress(w io.Writer, label string, interval time.Duration) *Progress {
+	return &Progress{
+		w: w, label: label, interval: interval,
+		now:    time.Now,
+		starts: make(map[int]time.Time),
+	}
+}
+
+// RunStart implements Observer.
+func (p *Progress) RunStart(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started.IsZero() {
+		p.started = p.now()
+		p.lastPrint = p.started
+	}
+	p.total += total
+}
+
+// TaskStart implements Observer.
+func (p *Progress) TaskStart(index int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.starts[index] = p.now()
+	p.inflight++
+	if p.inflight > p.peak {
+		p.peak = p.inflight
+	}
+}
+
+// TaskDone implements Observer.
+func (p *Progress) TaskDone(index int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if t, ok := p.starts[index]; ok {
+		p.busy += now.Sub(t)
+		delete(p.starts, index)
+	}
+	p.inflight--
+	p.done++
+	if err != nil {
+		p.failed++
+	}
+	if now.Sub(p.lastPrint) >= p.interval {
+		p.lastPrint = now
+		p.printLocked(now)
+	}
+}
+
+// RunDone implements Observer.
+func (p *Progress) RunDone() {}
+
+// printLocked writes one progress line; the caller holds p.mu.
+func (p *Progress) printLocked(now time.Time) {
+	elapsed := now.Sub(p.started)
+	var eta string
+	if p.done > 0 && p.total > p.done {
+		remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = fmt.Sprintf(", ETA %s", remain.Round(100*time.Millisecond))
+	}
+	var avg string
+	if p.done > 0 {
+		avg = fmt.Sprintf(", avg %s/task", (p.busy / time.Duration(p.done)).Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(p.w, "%s: %d/%d tasks (%.0f%%), %d in flight%s%s\n",
+		p.label, p.done, p.total, 100*float64(p.done)/float64(max(p.total, 1)), p.inflight, avg, eta)
+}
+
+// Finish prints the final summary line. Safe to call more than once; only
+// the first call prints.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished || p.started.IsZero() {
+		p.finished = true
+		return
+	}
+	p.finished = true
+	elapsed := p.now().Sub(p.started)
+	var avg time.Duration
+	if p.done > 0 {
+		avg = (p.busy / time.Duration(p.done)).Round(10 * time.Microsecond)
+	}
+	fmt.Fprintf(p.w, "%s: done %d/%d tasks in %s (%d failed, avg %s/task, peak queue depth %d)\n",
+		p.label, p.done, p.total, elapsed.Round(time.Millisecond), p.failed, avg, p.peak)
+}
+
+// Stats returns (done, total, inflight, peak) for assertions.
+func (p *Progress) Stats() (done, total, inflight, peak int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done, p.total, p.inflight, p.peak
+}

@@ -34,6 +34,7 @@ import (
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
 	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
 	"objalloc/internal/storage"
 )
 
@@ -66,6 +67,13 @@ type Config struct {
 	// entropy refinement. Repairs are billed (one data message and one
 	// output per stale voter) but do not delay the read's reply.
 	ReadRepair bool
+	// Obs attaches the instrumentation layer: each Read/Write/Recover
+	// emits one structured event with its message/I/O deltas and bumps the
+	// registry. The deltas are obtained by quiescing around the operation,
+	// so they are meaningful under a sequential driver (which is how the
+	// failover layer and the experiments drive quorum mode). Nil disables
+	// instrumentation.
+	Obs *obs.Obs
 }
 
 func (c *Config) normalize() error {
@@ -221,6 +229,20 @@ func (c *Cluster) quorumOf(self model.ProcessorID, votes int) (model.Set, error)
 // collected from a read quorum and the object is fetched from a holder of
 // the maximum.
 func (c *Cluster) Read(p model.ProcessorID) (storage.Version, error) {
+	o := c.cfg.Obs
+	if !o.Enabled() {
+		return c.read(p)
+	}
+	var v storage.Version
+	err := c.observed(o, "read", p, func() (obs.Attr, error) {
+		var err error
+		v, err = c.read(p)
+		return obs.Uint64("seq", v.Seq), err
+	})
+	return v, err
+}
+
+func (c *Cluster) read(p model.ProcessorID) (storage.Version, error) {
 	n, err := c.node(p)
 	if err != nil {
 		return storage.Version{}, err
@@ -244,6 +266,20 @@ func (c *Cluster) Read(p model.ProcessorID) (storage.Version, error) {
 // maximum, and it is installed on the quorum. It blocks until the quorum
 // has acknowledged.
 func (c *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, error) {
+	o := c.cfg.Obs
+	if !o.Enabled() {
+		return c.write(p, data)
+	}
+	var v storage.Version
+	err := c.observed(o, "write", p, func() (obs.Attr, error) {
+		var err error
+		v, err = c.write(p, data)
+		return obs.Uint64("seq", v.Seq), err
+	})
+	return v, err
+}
+
+func (c *Cluster) write(p model.ProcessorID, data []byte) (storage.Version, error) {
 	n, err := c.node(p)
 	if err != nil {
 		return storage.Version{}, err
@@ -274,6 +310,19 @@ func (c *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, erro
 // missing-writes algorithm's catch-up. It returns the number of writes the
 // processor had missed.
 func (c *Cluster) Recover(id model.ProcessorID) (missed uint64, err error) {
+	o := c.cfg.Obs
+	if !o.Enabled() {
+		return c.recover(id)
+	}
+	err = c.observed(o, "recover", id, func() (obs.Attr, error) {
+		var err error
+		missed, err = c.recover(id)
+		return obs.Uint64("missed", missed), err
+	})
+	return missed, err
+}
+
+func (c *Cluster) recover(id model.ProcessorID) (missed uint64, err error) {
 	n, err := c.node(id)
 	if err != nil {
 		return 0, err
@@ -282,7 +331,7 @@ func (c *Cluster) Recover(id model.ProcessorID) (missed uint64, err error) {
 	if v, ok := n.store.Peek(); ok {
 		before = v.Seq
 	}
-	latest, err := c.Read(id)
+	latest, err := c.read(id)
 	if err != nil {
 		return 0, fmt.Errorf("quorum: recover %d: %w", id, err)
 	}

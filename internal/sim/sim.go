@@ -29,6 +29,7 @@ import (
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
 	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
 	"objalloc/internal/storage"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// writes are numbered from FirstSeq+1. Zero means a fresh cluster
 	// (initial version 1).
 	FirstSeq uint64
+	// Obs attaches the instrumentation layer: Run emits one structured
+	// event per request (messages by type, I/Os, allocation-scheme
+	// transition) and updates the registry's counters; the Observer, if
+	// set, receives each request as a task for progress reporting. Nil
+	// disables instrumentation — the hot path then pays one nil-check per
+	// request.
+	Obs *obs.Obs
 }
 
 func (c Config) validate() error {
@@ -226,18 +234,44 @@ func (c *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, erro
 }
 
 // Run executes a schedule sequentially and returns the per-request observed
-// versions for reads (writes contribute their created version).
+// versions for reads (writes contribute their created version). On an
+// observed cluster (Config.Obs) every request emits one "request" event
+// with its message/I/O deltas and scheme transition, and the Observer sees
+// each request as one task.
 func (c *Cluster) Run(sched model.Schedule) ([]storage.Version, error) {
 	out := make([]storage.Version, len(sched))
+	o := c.cfg.Obs
+	var prevScheme model.Set
+	var hook obs.Observer
+	if o.Enabled() {
+		prevScheme = c.Scheme()
+		if hook = o.Hook(); hook != nil {
+			hook.RunStart(len(sched))
+			defer hook.RunDone()
+		}
+	}
 	for i, q := range sched {
+		var before obsSnapshot
+		if o.Enabled() {
+			before = c.obsSnap()
+		}
+		if hook != nil {
+			hook.TaskStart(i)
+		}
 		var err error
 		if q.IsRead() {
 			out[i], err = c.Read(q.Processor)
 		} else {
 			out[i], err = c.Write(q.Processor, []byte(fmt.Sprintf("w%d@%d", q.Processor, i)))
 		}
+		if hook != nil {
+			hook.TaskDone(i, err)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: request %d (%v): %w", i, q, err)
+		}
+		if o.Enabled() {
+			prevScheme = c.emitRequest(o, i, q, before, c.obsSnap(), prevScheme)
 		}
 	}
 	return out, nil
@@ -250,14 +284,37 @@ func (c *Cluster) Run(sched model.Schedule) ([]storage.Version, error) {
 func (c *Cluster) RunConcurrent(sched model.Schedule) ([]storage.Version, error) {
 	out := make([]storage.Version, len(sched))
 	errs := make([]error, len(sched))
+	o := c.cfg.Obs
+	var prevScheme model.Set
+	var hook obs.Observer
+	if o.Enabled() {
+		prevScheme = c.Scheme()
+		if hook = o.Hook(); hook != nil {
+			hook.RunStart(len(sched))
+			defer hook.RunDone()
+		}
+	}
 	i := 0
 	for i < len(sched) {
+		var before obsSnapshot
+		if o.Enabled() {
+			before = c.obsSnap()
+		}
 		if sched[i].IsWrite() {
+			if hook != nil {
+				hook.TaskStart(i)
+			}
 			v, err := c.Write(sched[i].Processor, []byte(fmt.Sprintf("w%d@%d", sched[i].Processor, i)))
+			if hook != nil {
+				hook.TaskDone(i, err)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("sim: request %d (%v): %w", i, sched[i], err)
 			}
 			out[i] = v
+			if o.Enabled() {
+				prevScheme = c.emitRequest(o, i, sched[i], before, c.obsSnap(), prevScheme)
+			}
 			i++
 			continue
 		}
@@ -270,7 +327,13 @@ func (c *Cluster) RunConcurrent(sched model.Schedule) ([]storage.Version, error)
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
+				if hook != nil {
+					hook.TaskStart(k)
+				}
 				out[k], errs[k] = c.Read(sched[k].Processor)
+				if hook != nil {
+					hook.TaskDone(k, errs[k])
+				}
 			}(k)
 		}
 		wg.Wait()
@@ -281,6 +344,12 @@ func (c *Cluster) RunConcurrent(sched model.Schedule) ([]storage.Version, error)
 		}
 		// Quiesce so saving-read joins settle before the next write.
 		c.track.wait()
+		if o.Enabled() {
+			// Reads of one burst interleave freely; the aggregate deltas
+			// after quiescence are deterministic even though per-read
+			// attribution is not.
+			prevScheme = c.emitReadBurst(o, i, j-i, before, c.obsSnap(), prevScheme)
+		}
 		i = j
 	}
 	return out, nil

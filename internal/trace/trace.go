@@ -15,6 +15,7 @@ import (
 
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 	"objalloc/internal/sim"
 )
 
@@ -33,11 +34,32 @@ type Record struct {
 	Counts cost.Counts `json:"counts"`
 	// FinalScheme is the allocation scheme after the run.
 	FinalScheme model.Set `json:"final_scheme"`
+	// Running is the cumulative accounting after each request, derived
+	// from the instrumentation layer's per-request events. Its last entry
+	// equals Counts. Records captured before this column existed omit it;
+	// Replay then verifies totals only.
+	Running []cost.Counts `json:"running,omitempty"`
 }
 
-// Capture executes the schedule on a fresh cluster and returns the record.
+// runningFromEvents folds the per-request "request" events of one run into
+// a cumulative accounting column, one entry per executed request.
+func runningFromEvents(events []obs.Event) []cost.Counts {
+	running := make([]cost.Counts, 0, len(events))
+	var cum cost.Counts
+	for _, e := range events {
+		cum.Control += int(e.Int64At("ctl"))
+		cum.Data += int(e.Int64At("data"))
+		cum.IO += int(e.Int64At("io"))
+		running = append(running, cum)
+	}
+	return running
+}
+
+// Capture executes the schedule on a fresh instrumented cluster and
+// returns the record, including the per-request running-cost column.
 func Capture(protocol sim.Protocol, n, t int, initial model.Set, sched model.Schedule) (*Record, error) {
-	c, err := sim.New(sim.Config{N: n, T: t, Protocol: protocol, Initial: initial})
+	mem := obs.NewMem()
+	c, err := sim.New(sim.Config{N: n, T: t, Protocol: protocol, Initial: initial, Obs: &obs.Obs{Sink: mem}})
 	if err != nil {
 		return nil, err
 	}
@@ -53,6 +75,7 @@ func Capture(protocol sim.Protocol, n, t int, initial model.Set, sched model.Sch
 		Schedule:    sched.Clone(),
 		Counts:      c.Counts(),
 		FinalScheme: c.Scheme(),
+		Running:     runningFromEvents(mem.Named("request")),
 	}, nil
 }
 
@@ -68,14 +91,18 @@ func (r *Record) protocol() (sim.Protocol, error) {
 	}
 }
 
-// Replay re-executes the record on a fresh cluster and returns an error if
-// the accounting or the final allocation scheme deviates.
+// Replay re-executes the record on a fresh instrumented cluster and
+// returns an error if the accounting — the totals, the final allocation
+// scheme, or (when recorded) any entry of the per-request running-cost
+// column — deviates. A running-column mismatch names the first deviating
+// request, localizing a regression to the request that caused it.
 func (r *Record) Replay() error {
 	protocol, err := r.protocol()
 	if err != nil {
 		return err
 	}
-	c, err := sim.New(sim.Config{N: r.N, T: r.T, Protocol: protocol, Initial: r.Initial})
+	mem := obs.NewMem()
+	c, err := sim.New(sim.Config{N: r.N, T: r.T, Protocol: protocol, Initial: r.Initial, Obs: &obs.Obs{Sink: mem}})
 	if err != nil {
 		return err
 	}
@@ -88,6 +115,17 @@ func (r *Record) Replay() error {
 	}
 	if got := c.Scheme(); got != r.FinalScheme {
 		return fmt.Errorf("trace: replay final scheme %v differs from recorded %v", got, r.FinalScheme)
+	}
+	if len(r.Running) > 0 {
+		got := runningFromEvents(mem.Named("request"))
+		if len(got) != len(r.Running) {
+			return fmt.Errorf("trace: replay produced %d request events, record has %d running entries", len(got), len(r.Running))
+		}
+		for i := range got {
+			if got[i] != r.Running[i] {
+				return fmt.Errorf("trace: replay running cost %v differs from recorded %v at request %d (%s)", got[i], r.Running[i], i, r.Schedule[i])
+			}
+		}
 	}
 	return nil
 }

@@ -120,3 +120,67 @@ func TestReplayErrors(t *testing.T) {
 		t.Error("invalid config replayed")
 	}
 }
+
+func TestCaptureRecordsRunningCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sched := workload.Uniform(rng, 5, 50, 0.3)
+	rec, err := Capture(sim.DA, 5, 2, model.NewSet(0, 1), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Running) != len(rec.Schedule) {
+		t.Fatalf("running column has %d entries for %d requests", len(rec.Running), len(rec.Schedule))
+	}
+	if last := rec.Running[len(rec.Running)-1]; last != rec.Counts {
+		t.Fatalf("last running entry %v != totals %v", last, rec.Counts)
+	}
+	// The column is cumulative and monotone.
+	for i := 1; i < len(rec.Running); i++ {
+		prev, cur := rec.Running[i-1], rec.Running[i]
+		if cur.Control < prev.Control || cur.Data < prev.Data || cur.IO < prev.IO {
+			t.Fatalf("running column not monotone at request %d: %v -> %v", i, prev, cur)
+		}
+	}
+	if err := rec.Replay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayDetectsRunningTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sched := workload.Uniform(rng, 5, 40, 0.3)
+	rec, err := Capture(sim.DA, 5, 2, model.NewSet(0, 1), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(rec.Running) / 2
+	rec.Running[mid].IO++
+	err = rec.Replay()
+	if err == nil {
+		t.Fatal("tampered running column replayed clean")
+	}
+	if !strings.Contains(err.Error(), "running cost") {
+		t.Fatalf("error does not name the running column: %v", err)
+	}
+	rec.Running[mid].IO--
+	// Wrong length is also a mismatch.
+	rec.Running = rec.Running[:len(rec.Running)-1]
+	if err := rec.Replay(); err == nil {
+		t.Fatal("truncated running column replayed clean")
+	}
+}
+
+// Records written before the running column existed (Running empty) must
+// still replay: the column is optional.
+func TestReplayWithoutRunningColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sched := workload.Uniform(rng, 4, 30, 0.4)
+	rec, err := Capture(sim.SA, 4, 2, model.NewSet(0, 1), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Running = nil
+	if err := rec.Replay(); err != nil {
+		t.Fatalf("legacy record without running column: %v", err)
+	}
+}

@@ -22,11 +22,17 @@
 //     a simulated network and per-processor databases) and NewHACluster
 //     (DA with quorum-consensus failover, §2).
 //   - The multi-object database directory: OpenDB.
+//
+// Every evaluation spec and cluster config additionally accepts an *Obs —
+// the instrumentation bundle (structured event sink, metric registry,
+// progress observer); see the "Instrumentation layer" section.
 package objalloc
 
 import (
 	"context"
+	"io"
 	"math/rand"
+	"time"
 
 	"objalloc/internal/advisor"
 	"objalloc/internal/baseline"
@@ -41,6 +47,7 @@ import (
 	"objalloc/internal/latency"
 	"objalloc/internal/model"
 	"objalloc/internal/multiobject"
+	"objalloc/internal/obs"
 	"objalloc/internal/opt"
 	"objalloc/internal/quorum"
 	"objalloc/internal/sim"
@@ -573,6 +580,70 @@ func CaptureTrace(protocol Protocol, n, t int, initial Set, sched Schedule) (*Tr
 
 // LoadTrace reads a record saved with TraceRecord.Save.
 func LoadTrace(path string) (*TraceRecord, error) { return trace.Load(path) }
+
+// ---- Instrumentation layer ----
+
+// Obs bundles the instrumentation a run carries: a metric Registry, a
+// structured event Sink, and a progress Observer. Any field (and the *Obs
+// itself) may be nil; unobserved code paths pay one nil-check. Assign an
+// Obs to a spec (SweepSpec.Obs, SearchConfig.Obs, ...) or a cluster config
+// (ClusterConfig.Obs, QuorumConfig.Obs, HAConfig.Obs) to instrument it.
+type Obs = obs.Obs
+
+// ObsRegistry holds named counters and histograms with atomic updates.
+type ObsRegistry = obs.Registry
+
+// ObsSnapshot is a sorted point-in-time dump of a registry, suitable for
+// deterministic assertions and JSON encoding.
+type ObsSnapshot = obs.Snapshot
+
+// ObsEvent is one structured event: a name plus ordered attributes.
+type ObsEvent = obs.Event
+
+// ObsAttr is one key/value attribute of an event.
+type ObsAttr = obs.Attr
+
+// ObsSink receives structured events.
+type ObsSink = obs.Sink
+
+// ObsObserver receives engine lifecycle callbacks (run start/end, task
+// start/end) for progress reporting and telemetry.
+type ObsObserver = obs.Observer
+
+// ObsProgress is the stderr progress reporter used by the cmd drivers.
+type ObsProgress = obs.Progress
+
+// NewObsRegistry returns an empty metric registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsJSONL returns a sink writing one JSON object per event to w, with
+// deterministic field order.
+func NewObsJSONL(w io.Writer) *obs.JSONLSink { return obs.NewJSONL(w) }
+
+// NewObsMemSink returns an in-memory sink for tests and event-stream
+// post-processing.
+func NewObsMemSink() *obs.MemSink { return obs.NewMem() }
+
+// ObsNull is a sink that discards every event.
+var ObsNull ObsSink = obs.Null
+
+// NewObsProgress returns an Observer printing progress lines (done/total,
+// in-flight, rate, ETA) to w at most every interval.
+func NewObsProgress(w io.Writer, label string, interval time.Duration) *ObsProgress {
+	return obs.NewProgress(w, label, interval)
+}
+
+// ObsCLIOptions is the observability surface the cmd drivers expose as
+// flags: a metrics JSONL path, stderr progress, a pprof/expvar address and
+// an optional CPU profile.
+type ObsCLIOptions = obs.CLIOptions
+
+// ObsCLI is a running driver observability setup; Close flushes the
+// metrics file (events + final registry snapshot) and stops everything.
+type ObsCLI = obs.CLI
+
+// StartObsCLI builds the Obs bundle for a driver run from parsed flags.
+func StartObsCLI(opts ObsCLIOptions) (*ObsCLI, error) { return obs.StartCLI(opts) }
 
 // ---- Multi-object database ----
 
