@@ -1,9 +1,12 @@
 # Tier-1 verification: build, vet, test, race-test. All four must pass.
 # obscheck additionally vets the instrumentation package on its own and
 # runs the observability determinism tests under the race detector.
-.PHONY: verify build vet test race bench obscheck profile
+# fuzzsmoke gives each committed fuzz target a 10-second budget, and
+# staticcheck runs when the tool is installed (it is skipped gracefully
+# otherwise — the build must not depend on network access).
+.PHONY: verify build vet test race bench obscheck fuzzsmoke staticcheck chaos profile
 
-verify: build vet test race obscheck
+verify: build vet test race obscheck fuzzsmoke staticcheck
 
 build:
 	go build ./...
@@ -24,6 +27,25 @@ obscheck:
 	go vet ./internal/obs
 	go test -race -run 'TestSweepObsDeterminism|TestSearchObsDeterminism' ./internal/competitive
 	go test -race ./internal/obs
+
+fuzzsmoke:
+	go test -run none -fuzz FuzzConfigNormalize -fuzztime 10s ./internal/quorum
+	go test -run none -fuzz FuzzParseFaults -fuzztime 10s ./internal/chaos
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# chaos runs an invariant-checked fault-injection pass over all three
+# protocol engines: deterministic loss/dup/delay plus churn where the
+# engine has a failure story. Any invariant violation fails the target.
+chaos:
+	go run ./cmd/chaos -engine da -n 6 -t 3 -steps 2000 -seed 1
+	go run ./cmd/chaos -engine quorum -n 6 -t 3 -steps 2000 -seed 1 -churn 0.02
+	go run ./cmd/chaos -engine ha -n 6 -t 3 -steps 2000 -seed 1 -churn 0.02
 
 # profile runs a small figure-1 sweep under CPU profiling and leaves the
 # profile next to the metrics stream; inspect with `go tool pprof`.

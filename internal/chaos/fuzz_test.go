@@ -1,0 +1,34 @@
+package chaos
+
+import "testing"
+
+// FuzzParseFaults throws arbitrary strings at the fault-schedule decoder:
+// it must never panic, and every accepted plan must validate and survive a
+// format→parse round trip.
+func FuzzParseFaults(f *testing.F) {
+	f.Add("")
+	f.Add("loss=0.1")
+	f.Add("loss=0.15,dup=0.1,delay=0.2,delaymax=4,flap=0.01,flaplen=3")
+	f.Add("seed=42,loss=1")
+	f.Add("loss=0.1,loss=0.2")
+	f.Add(" loss = 0.5 , dup = 0 ")
+	f.Add("loss=NaN")
+	f.Add("delaymax=9999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseFaults(s)
+		if err != nil {
+			return
+		}
+		if verr := plan.Validate(); verr != nil {
+			t.Fatalf("accepted %q but plan invalid: %v", s, verr)
+		}
+		back, err := ParseFaults(FormatFaults(plan))
+		if err != nil {
+			t.Fatalf("formatted form of %q rejected: %v", s, err)
+		}
+		back.Seed = plan.Seed // the seed is deliberately not formatted
+		if back != plan {
+			t.Fatalf("%q: round trip %+v -> %+v", s, plan, back)
+		}
+	})
+}

@@ -1,0 +1,375 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/ha"
+	"objalloc/internal/model"
+	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
+	"objalloc/internal/quorum"
+	"objalloc/internal/sim"
+	"objalloc/internal/storage"
+)
+
+// Violation is one invariant breach, pinned to the step that exposed it.
+type Violation struct {
+	Step      int    // index into the expanded step list
+	Invariant string // which invariant broke
+	Detail    string // what was observed
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d: %s: %s", v.Step, v.Invariant, v.Detail)
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	Engine   Engine
+	Seed     uint64
+	StepsRun int // steps executed (< len(steps) when a violation aborted the run)
+	Reads    int
+	Writes   int
+	Crashes  int
+	Restarts int
+	// FinalSeq is the last committed version number.
+	FinalSeq uint64
+	// Counts is the paper-model cost accounting of the whole run.
+	Counts cost.Counts
+	// Overhead is the reliability-layer traffic billed apart from Counts.
+	Overhead ha.Overhead
+	// Violations holds every invariant breach; a clean run has none. The
+	// runner stops at the first one — the cluster's state is no longer
+	// trustworthy past a broken invariant.
+	Violations []Violation
+}
+
+// Failed reports whether the run breached any invariant.
+func (r Result) Failed() bool { return len(r.Violations) > 0 }
+
+// harness adapts one protocol stack to the runner.
+type harness interface {
+	read(p model.ProcessorID) (storage.Version, error)
+	write(p model.ProcessorID, data []byte) (storage.Version, error)
+	crash(p model.ProcessorID) error
+	restart(p model.ProcessorID) error
+	holderSeqs() []uint64
+	mode() string
+	counts() cost.Counts
+	overhead() ha.Overhead
+	close()
+}
+
+// minHolders is the engine's t-availability floor with nobody crashed; the
+// checker subtracts the current crash count (a crashed holder can take its
+// copy down with it) and floors at one.
+func minHolders(e Engine, n, t int, mode string) int {
+	switch {
+	case e == EngineDA:
+		return t
+	case e == EngineQuorum || mode == "quorum":
+		return n/2 + 1
+	default: // ha in DA mode
+		return t
+	}
+}
+
+type simHarness struct{ c *sim.Cluster }
+
+func (h simHarness) read(p model.ProcessorID) (storage.Version, error) { return h.c.Read(p) }
+func (h simHarness) write(p model.ProcessorID, d []byte) (storage.Version, error) {
+	return h.c.Write(p, d)
+}
+func (h simHarness) crash(p model.ProcessorID) error   { return h.c.Network().Crash(p) }
+func (h simHarness) restart(p model.ProcessorID) error { return h.c.Network().Restart(p) }
+func (h simHarness) holderSeqs() []uint64              { return h.c.HolderSeqs() }
+func (h simHarness) mode() string                      { return "da" }
+func (h simHarness) counts() cost.Counts               { return h.c.Counts() }
+func (h simHarness) overhead() ha.Overhead             { return overheadOf(h.c.Network().Stats()) }
+func (h simHarness) close()                            { h.c.Close() }
+
+type quorumHarness struct{ c *quorum.Cluster }
+
+func (h quorumHarness) read(p model.ProcessorID) (storage.Version, error) { return h.c.Read(p) }
+func (h quorumHarness) write(p model.ProcessorID, d []byte) (storage.Version, error) {
+	return h.c.Write(p, d)
+}
+func (h quorumHarness) crash(p model.ProcessorID) error { return h.c.Crash(p) }
+func (h quorumHarness) restart(p model.ProcessorID) error {
+	// Missing-writes catch-up (§2.4): the restarted replica recovers the
+	// latest version through a quorum read, so it rejoins as a holder.
+	if err := h.c.Restart(p); err != nil {
+		return err
+	}
+	_, err := h.c.Recover(p)
+	return err
+}
+func (h quorumHarness) holderSeqs() []uint64  { return h.c.HolderSeqs() }
+func (h quorumHarness) mode() string          { return "quorum" }
+func (h quorumHarness) counts() cost.Counts   { return h.c.Counts() }
+func (h quorumHarness) overhead() ha.Overhead { return overheadOf(h.c.Network().Stats()) }
+func (h quorumHarness) close()                { h.c.Close() }
+
+type haHarness struct{ c *ha.Cluster }
+
+func (h haHarness) read(p model.ProcessorID) (storage.Version, error) { return h.c.Read(p) }
+func (h haHarness) write(p model.ProcessorID, d []byte) (storage.Version, error) {
+	return h.c.Write(p, d)
+}
+func (h haHarness) crash(p model.ProcessorID) error   { return h.c.Crash(p) }
+func (h haHarness) restart(p model.ProcessorID) error { return h.c.Restart(p) }
+func (h haHarness) holderSeqs() []uint64              { return h.c.HolderSeqs() }
+func (h haHarness) mode() string {
+	if h.c.Mode() == ha.ModeQuorum {
+		return "quorum"
+	}
+	return "da"
+}
+func (h haHarness) counts() cost.Counts   { return h.c.Counts() }
+func (h haHarness) overhead() ha.Overhead { return h.c.ReliabilityOverhead() }
+func (h haHarness) close()                { h.c.Close() }
+
+func overheadOf(st netsim.Stats) ha.Overhead {
+	return ha.Overhead{
+		Retrans: st.RetransControl + st.RetransData,
+		Acks:    st.AckControl,
+		Dropped: st.Dropped,
+	}
+}
+
+func open(sc Scenario, o *obs.Obs) (harness, error) {
+	switch sc.Engine {
+	case EngineDA:
+		c, err := sim.New(sim.Config{
+			N: sc.N, T: sc.T, Protocol: sim.DA, Initial: model.FullSet(sc.T),
+			Obs: o, Faults: &sc.Faults, Retry: sc.Retry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return simHarness{c}, nil
+	case EngineQuorum:
+		c, err := quorum.New(quorum.Config{
+			N: sc.N, Preload: true, Obs: o, Faults: &sc.Faults, Retry: sc.Retry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return quorumHarness{c}, nil
+	case EngineHA:
+		c, err := ha.New(ha.Config{
+			N: sc.N, T: sc.T, Initial: model.FullSet(sc.T),
+			Obs: o, Faults: &sc.Faults, Retry: sc.Retry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return haHarness{c}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown engine %v", sc.Engine)
+	}
+}
+
+// opResult carries one operation's outcome across the timeout guard.
+type opResult struct {
+	v   storage.Version
+	err error
+}
+
+// Run executes the scenario and checks the invariants after every step;
+// it is RunContext with a background context.
+func Run(sc Scenario, o *obs.Obs) (Result, error) {
+	return RunContext(context.Background(), sc, o)
+}
+
+// RunContext executes the scenario and checks the invariants after every
+// step. Cancelling the context stops the run between steps and returns
+// the partial result with ctx.Err().
+//
+// Observability: when o is non-nil, the engines' raw events (drops,
+// duplications, retransmission counters, per-operation records) are
+// captured per step, sorted canonically, and re-emitted into o prefixed
+// with the step index — node goroutines race each other inside a step, so
+// the per-step sort is what makes two runs of the same seed produce
+// byte-identical event streams. The runner adds its own "chaos.step" event
+// per step and a "chaos.violation" event per breach.
+func RunContext(ctx context.Context, sc Scenario, o *obs.Obs) (Result, error) {
+	if err := sc.normalize(); err != nil {
+		return Result{}, err
+	}
+	steps := sc.Expand()
+
+	// The engines write into a private mem sink; forward() canonicalizes
+	// each step's batch into the caller's sink.
+	var inner *obs.Obs
+	var mem *obs.MemSink
+	if o.Enabled() {
+		mem = obs.NewMem()
+		inner = &obs.Obs{Registry: o.Registry, Sink: mem}
+	}
+	h, err := open(sc, inner)
+	if err != nil {
+		return Result{}, err
+	}
+	defer h.close()
+
+	res := Result{Engine: sc.Engine, Seed: sc.Seed}
+	latest := uint64(1) // every engine preloads version 1
+	var crashed model.Set
+	prevSeqs := h.holderSeqs()
+	prevMode := h.mode()
+
+	fail := func(i int, invariant, format string, args ...any) {
+		v := Violation{Step: i, Invariant: invariant, Detail: fmt.Sprintf(format, args...)}
+		res.Violations = append(res.Violations, v)
+		if o.Enabled() {
+			o.Emit(obs.Event{Name: "chaos.violation", Attrs: []obs.Attr{
+				obs.Int("step", i),
+				obs.String("invariant", invariant),
+				obs.String("detail", v.Detail),
+			}})
+		}
+	}
+
+	forward := func(i int) {
+		if mem == nil {
+			return
+		}
+		batch := mem.Drain()
+		sort.SliceStable(batch, func(a, b int) bool {
+			ea, eb := batch[a], batch[b]
+			if ea.Name != eb.Name {
+				return ea.Name < eb.Name
+			}
+			return fmt.Sprint(ea.Attrs) < fmt.Sprint(eb.Attrs)
+		})
+		for _, e := range batch {
+			e.Attrs = append([]obs.Attr{obs.Int("step", i)}, e.Attrs...)
+			o.Emit(e)
+		}
+	}
+
+	for i, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		res.StepsRun = i + 1
+		var hung bool
+		switch step.Kind {
+		case StepRead:
+			res.Reads++
+			done := make(chan opResult, 1)
+			go func() {
+				v, rerr := h.read(step.Proc)
+				done <- opResult{v, rerr}
+			}()
+			select {
+			case r := <-done:
+				if r.err != nil {
+					fail(i, "op-success", "read at live processor %d failed: %v", step.Proc, r.err)
+				} else if r.v.Seq != latest {
+					fail(i, "read-latest", "read at %d observed seq %d, latest committed is %d", step.Proc, r.v.Seq, latest)
+				}
+			case <-time.After(sc.OpTimeout):
+				fail(i, "op-terminates", "read at %d still blocked after %v", step.Proc, sc.OpTimeout)
+				hung = true
+			}
+		case StepWrite:
+			res.Writes++
+			done := make(chan opResult, 1)
+			go func() {
+				v, werr := h.write(step.Proc, []byte(fmt.Sprintf("w%d", i)))
+				done <- opResult{v, werr}
+			}()
+			select {
+			case r := <-done:
+				if r.err != nil {
+					fail(i, "op-success", "write at live processor %d failed: %v", step.Proc, r.err)
+					if r.v.Seq > latest {
+						latest = r.v.Seq // the commit may have landed before propagation gave up
+					}
+				} else {
+					if r.v.Seq <= latest && latest > 1 {
+						fail(i, "write-monotone", "write at %d got seq %d, not above %d", step.Proc, r.v.Seq, latest)
+					}
+					latest = r.v.Seq
+					res.FinalSeq = latest
+				}
+			case <-time.After(sc.OpTimeout):
+				fail(i, "op-terminates", "write at %d still blocked after %v", step.Proc, sc.OpTimeout)
+				hung = true
+			}
+		case StepCrash:
+			res.Crashes++
+			if err := h.crash(step.Proc); err != nil {
+				forward(i)
+				return res, fmt.Errorf("chaos: step %d crash(%d): %w", i, step.Proc, err)
+			}
+			crashed = crashed.Add(step.Proc)
+		case StepRestart:
+			res.Restarts++
+			if err := h.restart(step.Proc); err != nil {
+				forward(i)
+				return res, fmt.Errorf("chaos: step %d restart(%d): %w", i, step.Proc, err)
+			}
+			crashed = crashed.Remove(step.Proc)
+		}
+		if hung {
+			// The cluster has a stranded operation; its state can no
+			// longer be checked meaningfully.
+			forward(i)
+			break
+		}
+
+		// Invariants. holderSeqs quiesces, so delayed messages land and
+		// outstanding handlers finish before the state is inspected.
+		seqs := h.holderSeqs()
+		mode := h.mode()
+
+		if mode != prevMode && step.Kind != StepCrash && step.Kind != StepRestart {
+			fail(i, "mode-on-membership-change",
+				"mode switched %s→%s on a %v step — no membership change happened", prevMode, mode, step.Kind)
+		}
+		liveHolders := 0
+		for p, s := range seqs {
+			if s != 0 && s < prevSeqs[p] {
+				fail(i, "version-monotone", "processor %d regressed from seq %d to %d", p, prevSeqs[p], s)
+			}
+			if s == latest && !crashed.Contains(model.ProcessorID(p)) {
+				liveHolders++
+			}
+		}
+		want := minHolders(sc.Engine, sc.N, sc.T, mode) - crashed.Size()
+		if want < 1 {
+			want = 1
+		}
+		if liveHolders < want {
+			fail(i, "t-availability", "only %d live holders of seq %d, want at least %d (mode %s, %d crashed)",
+				liveHolders, latest, want, mode, crashed.Size())
+		}
+		prevSeqs, prevMode = seqs, mode
+
+		if o.Enabled() {
+			o.Emit(obs.Event{Name: "chaos.step", Attrs: []obs.Attr{
+				obs.Int("step", i),
+				obs.String("kind", step.Kind.String()),
+				obs.Int("proc", int(step.Proc)),
+				obs.Uint64("seq", latest),
+				obs.String("mode", mode),
+			}})
+		}
+		forward(i)
+		if len(res.Violations) > 0 {
+			break
+		}
+	}
+	res.FinalSeq = latest
+	res.Counts = h.counts()
+	res.Overhead = h.overhead()
+	return res, nil
+}

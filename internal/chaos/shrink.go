@@ -1,0 +1,81 @@
+package chaos
+
+import "objalloc/internal/netsim"
+
+// failsWith replays the scenario and reports whether it still breaches the
+// named invariant (any invariant when the name is empty). Setup/step
+// errors (a shrunk prefix may, e.g., drop a restart the rest of the
+// schedule needed) count as "does not reproduce" — the shrinker only keeps
+// reductions that preserve the original failure shape.
+func failsWith(sc Scenario, invariant string) bool {
+	res, err := Run(sc, nil)
+	if err != nil || !res.Failed() {
+		return false
+	}
+	if invariant == "" {
+		return true
+	}
+	for _, v := range res.Violations {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink minimizes a failing scenario with delta debugging: first ddmin
+// over the expanded step list (removing chunks of decreasing size while
+// the original invariant class still breaks), then zeroing each fault knob
+// that turns out not to be load-bearing. The result has an explicit
+// Schedule and reproduces a violation of the same invariant; if the input
+// does not fail, it is returned unchanged.
+func Shrink(sc Scenario) Scenario {
+	if err := sc.normalize(); err != nil {
+		return sc
+	}
+	first, err := Run(sc, nil)
+	if err != nil || !first.Failed() {
+		return sc
+	}
+	invariant := first.Violations[0].Invariant
+	stillFails := func(sc Scenario) bool { return failsWith(sc, invariant) }
+	sc.Schedule = sc.Expand()
+	sc.Steps = 0
+
+	// ddmin over the step list.
+	chunk := len(sc.Schedule) / 2
+	for chunk >= 1 {
+		removedAny := false
+		for start := 0; start+chunk <= len(sc.Schedule); {
+			candidate := sc
+			candidate.Schedule = append(append([]Step(nil), sc.Schedule[:start]...), sc.Schedule[start+chunk:]...)
+			if len(candidate.Schedule) > 0 && stillFails(candidate) {
+				sc.Schedule = candidate.Schedule
+				removedAny = true
+				// Do not advance: the next chunk slid into place.
+			} else {
+				start += chunk
+			}
+		}
+		if !removedAny || chunk == 1 {
+			chunk /= 2
+		}
+	}
+
+	// Zero out fault knobs the failure does not depend on.
+	knobs := []func(*netsim.FaultPlan){
+		func(p *netsim.FaultPlan) { p.Flap, p.FlapLen = 0, 0 },
+		func(p *netsim.FaultPlan) { p.Dup = 0 },
+		func(p *netsim.FaultPlan) { p.Delay, p.DelayMax = 0, 0 },
+		func(p *netsim.FaultPlan) { p.Loss = 0 },
+	}
+	for _, zero := range knobs {
+		candidate := sc
+		candidate.Faults = sc.Faults
+		zero(&candidate.Faults)
+		if stillFails(candidate) {
+			sc.Faults = candidate.Faults
+		}
+	}
+	return sc
+}

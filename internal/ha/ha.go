@@ -75,6 +75,13 @@ type Config struct {
 	// observed failover run shows exactly the failure-mode phase in its
 	// event stream. Nil disables instrumentation.
 	Obs *obs.Obs
+	// Faults, when non-nil and active, is installed on every engine's
+	// network (each mode switch builds a fresh network seeded from the
+	// same plan) and engages both engines' retransmission disciplines
+	// unless Retry disables them.
+	Faults *netsim.FaultPlan
+	// Retry tunes the engines' retransmission disciplines.
+	Retry netsim.RetryPolicy
 }
 
 // Cluster is the mode-switching engine.
@@ -92,10 +99,34 @@ type Cluster struct {
 	crashed   model.Set
 	latestSeq uint64
 	// baseNet accumulates message counts from engines that have been torn
-	// down at mode switches.
-	baseNet cost.Counts
+	// down at mode switches; baseOverhead does the same for the
+	// reliability-layer counters, so accounting is continuous across every
+	// mode switch even on a lossy network.
+	baseNet      cost.Counts
+	baseOverhead Overhead
 
 	closed bool
+}
+
+// Overhead aggregates the reliability-layer traffic that is billed apart
+// from the paper's cost model: retransmissions, acknowledgements, and
+// dropped messages.
+type Overhead struct {
+	Retrans int // retransmitted control + data messages
+	Acks    int // TWriteAck/TInvalAck reliability acknowledgements
+	Dropped int // messages dropped for any reason
+}
+
+func overheadOf(st netsim.Stats) Overhead {
+	return Overhead{
+		Retrans: st.RetransControl + st.RetransData,
+		Acks:    st.AckControl,
+		Dropped: st.Dropped,
+	}
+}
+
+func (o Overhead) plus(p Overhead) Overhead {
+	return Overhead{Retrans: o.Retrans + p.Retrans, Acks: o.Acks + p.Acks, Dropped: o.Dropped + p.Dropped}
 }
 
 // New builds the cluster in DA mode.
@@ -124,7 +155,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	da, err := sim.New(sim.Config{
 		N: cfg.N, T: cfg.T, Protocol: sim.DA, Initial: cfg.Initial,
-		NewStore: h.adopt, Obs: cfg.Obs,
+		NewStore: h.adopt, Obs: cfg.Obs, Faults: cfg.Faults, Retry: cfg.Retry,
 	})
 	if err != nil {
 		return nil, err
@@ -155,55 +186,101 @@ func (h *Cluster) Crashed() model.Set {
 var errNodeDown = errors.New("ha: issuing processor is down")
 
 // Read services a read request issued at processor p under the current
-// mode.
+// mode. If DA's retransmission discipline gives up on an essential peer
+// that the failure detector confirms crashed, the cluster fails over to
+// quorum consensus and the read is retried there.
 func (h *Cluster) Read(p model.ProcessorID) (storage.Version, error) {
-	h.mu.Lock()
-	if h.closed {
+	for attempt := 0; ; attempt++ {
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			return storage.Version{}, errors.New("ha: cluster closed")
+		}
+		if h.crashed.Contains(p) {
+			h.mu.Unlock()
+			return storage.Version{}, errNodeDown
+		}
+		mode, da, q := h.mode, h.da, h.q
 		h.mu.Unlock()
-		return storage.Version{}, errors.New("ha: cluster closed")
+		var v storage.Version
+		var err error
+		if mode == ModeDA {
+			v, err = da.Read(p)
+		} else {
+			v, err = q.Read(p)
+		}
+		if err != nil && attempt == 0 && mode == ModeDA && h.reactUnreachable(err) {
+			continue
+		}
+		return v, err
 	}
-	if h.crashed.Contains(p) {
-		h.mu.Unlock()
-		return storage.Version{}, errNodeDown
-	}
-	mode, da, q := h.mode, h.da, h.q
-	h.mu.Unlock()
-	if mode == ModeDA {
-		return da.Read(p)
-	}
-	return q.Read(p)
 }
 
 // Write services a write request issued at processor p under the current
-// mode.
+// mode, with the same give-up → failover → retry path as Read.
 func (h *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, error) {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return storage.Version{}, errors.New("ha: cluster closed")
-	}
-	if h.crashed.Contains(p) {
-		h.mu.Unlock()
-		return storage.Version{}, errNodeDown
-	}
-	mode, da, q := h.mode, h.da, h.q
-	h.mu.Unlock()
-
-	var v storage.Version
-	var err error
-	if mode == ModeDA {
-		v, err = da.Write(p, data)
-	} else {
-		v, err = q.Write(p, data)
-	}
-	if err == nil {
+	for attempt := 0; ; attempt++ {
 		h.mu.Lock()
-		if v.Seq > h.latestSeq {
-			h.latestSeq = v.Seq
+		if h.closed {
+			h.mu.Unlock()
+			return storage.Version{}, errors.New("ha: cluster closed")
 		}
+		if h.crashed.Contains(p) {
+			h.mu.Unlock()
+			return storage.Version{}, errNodeDown
+		}
+		mode, da, q := h.mode, h.da, h.q
 		h.mu.Unlock()
+
+		var v storage.Version
+		var err error
+		if mode == ModeDA {
+			v, err = da.Write(p, data)
+		} else {
+			v, err = q.Write(p, data)
+		}
+		if err != nil && attempt == 0 && mode == ModeDA && h.reactUnreachable(err) {
+			continue
+		}
+		if err == nil {
+			h.mu.Lock()
+			if v.Seq > h.latestSeq {
+				h.latestSeq = v.Seq
+			}
+			h.mu.Unlock()
+		}
+		return v, err
 	}
-	return v, err
+}
+
+// reactUnreachable inspects an error from a DA-mode operation. When the
+// retransmission discipline gave up on a peer that the network's failure
+// detector confirms crashed (a real membership change — not a string of
+// unlucky losses), the cluster reacts as if Crash had been called: the
+// peer is marked down and, if it was essential, the cluster fails over to
+// quorum consensus. It reports whether the caller should retry the
+// operation under the (possibly new) mode.
+func (h *Cluster) reactUnreachable(err error) bool {
+	var u netsim.Unreachable
+	if !errors.As(err, &u) {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.mode != ModeDA || h.crashed.Contains(u.Peer) {
+		return false
+	}
+	if !h.da.Network().Crashed(u.Peer) {
+		// The peer is up as far as the failure detector knows: the retry
+		// budget drowned in losses. Surface the error; failing over on a
+		// phantom would be a mode transition without a membership change.
+		return false
+	}
+	h.crashed = h.crashed.Add(u.Peer)
+	if h.core.Contains(u.Peer) || u.Peer == h.anchor {
+		return h.failoverLocked() == nil
+	}
+	return true
 }
 
 // Crash takes processor id down. If the processor is essential to DA (a
@@ -212,6 +289,9 @@ func (h *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, erro
 func (h *Cluster) Crash(id model.ProcessorID) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if int(id) < 0 || int(id) >= h.cfg.N {
+		return fmt.Errorf("ha: crash of unknown processor %d", id)
+	}
 	if h.crashed.Contains(id) {
 		return nil
 	}
@@ -223,11 +303,9 @@ func (h *Cluster) Crash(id model.ProcessorID) error {
 	case h.mode == ModeDA:
 		// DA tolerates non-essential crashes: the node simply stops
 		// answering; invalidations to it are dropped by the network.
-		h.da.Network().Crash(id)
-		return nil
+		return h.da.Network().Crash(id)
 	default:
-		h.q.Crash(id)
-		return nil
+		return h.q.Crash(id)
 	}
 }
 
@@ -241,7 +319,10 @@ func (h *Cluster) failoverLocked() error {
 	h.accumulate(h.da.Network().Stats())
 	h.da.Close()
 	h.da = nil
-	q, err := quorum.New(quorum.Config{N: h.cfg.N, NewStore: h.adopt, Obs: h.cfg.Obs})
+	q, err := quorum.New(quorum.Config{
+		N: h.cfg.N, NewStore: h.adopt, Obs: h.cfg.Obs,
+		Faults: h.cfg.Faults, Retry: h.cfg.Retry,
+	})
 	if err != nil {
 		return fmt.Errorf("ha: failover: %w", err)
 	}
@@ -291,6 +372,9 @@ func (h *Cluster) failoverLocked() error {
 func (h *Cluster) Restart(id model.ProcessorID) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if int(id) < 0 || int(id) >= h.cfg.N {
+		return fmt.Errorf("ha: restart of unknown processor %d", id)
+	}
 	if !h.crashed.Contains(id) {
 		return nil
 	}
@@ -304,10 +388,11 @@ func (h *Cluster) Restart(id model.ProcessorID) error {
 		if err := h.stores[id].Invalidate(); err != nil {
 			return fmt.Errorf("ha: restart %d: %w", id, err)
 		}
-		h.da.Network().Restart(id)
-		return nil
+		return h.da.Network().Restart(id)
 	}
-	h.q.Restart(id)
+	if err := h.q.Restart(id); err != nil {
+		return err
+	}
 	if _, err := h.q.Recover(id); err != nil && !errors.Is(err, storage.ErrNoObject) {
 		return fmt.Errorf("ha: recover %d: %w", id, err)
 	}
@@ -344,6 +429,7 @@ func (h *Cluster) failbackLocked() error {
 	da, err := sim.New(sim.Config{
 		N: h.cfg.N, T: h.cfg.T, Protocol: sim.DA, Initial: scheme,
 		NewStore: h.adopt, AdoptStores: true, FirstSeq: latest, Obs: h.cfg.Obs,
+		Faults: h.cfg.Faults, Retry: h.cfg.Retry,
 	})
 	if err != nil {
 		return fmt.Errorf("ha: failback: %w", err)
@@ -363,6 +449,7 @@ func (h *Cluster) failbackLocked() error {
 func (h *Cluster) accumulate(st netsim.Stats) {
 	h.baseNet.Control += st.ControlSent
 	h.baseNet.Data += st.DataSent
+	h.baseOverhead = h.baseOverhead.plus(overheadOf(st))
 }
 
 // Counts returns the cumulative message and I/O accounting across all
@@ -389,6 +476,52 @@ func (h *Cluster) Counts() cost.Counts {
 
 // Cost prices the cumulative accounting.
 func (h *Cluster) Cost(m cost.Model) float64 { return h.Counts().Price(m) }
+
+// ReliabilityOverhead returns the cumulative reliability-layer traffic
+// (retransmissions, acks, drops) across all modes since the cluster
+// started — the traffic billed apart from the paper's cost model.
+func (h *Cluster) ReliabilityOverhead() Overhead {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ov := h.baseOverhead
+	if h.da != nil {
+		ov = ov.plus(overheadOf(h.da.Network().Stats()))
+	}
+	if h.q != nil {
+		ov = ov.plus(overheadOf(h.q.Network().Stats()))
+	}
+	return ov
+}
+
+// Quiesce blocks until the active engine is fully settled, including any
+// artificially delayed messages. The chaos runner calls it between steps.
+func (h *Cluster) Quiesce() {
+	h.mu.Lock()
+	da, q := h.da, h.q
+	h.mu.Unlock()
+	if da != nil {
+		da.Quiesce()
+	}
+	if q != nil {
+		q.Quiesce()
+	}
+}
+
+// HolderSeqs returns, per processor, the sequence number of the locally
+// held copy (0 when none), after quiescing the active engine. Invariant
+// checkers use it for t-availability and per-processor monotonicity.
+func (h *Cluster) HolderSeqs() []uint64 {
+	h.Quiesce()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, len(h.stores))
+	for i, s := range h.stores {
+		if v, ok := s.Peek(); ok {
+			out[i] = v.Seq
+		}
+	}
+	return out
+}
 
 // LatestSeq returns the highest committed version number.
 func (h *Cluster) LatestSeq() uint64 {

@@ -6,19 +6,31 @@
 // The network bills every message at send time, classified as control or
 // data, so a protocol executed on top of it can be audited against the
 // analytic cost model message-for-message. It also supports fault
-// injection — crashed processors and partitioned links — for the failure
-// experiments (§2's quorum fallback).
+// injection: crashed processors and partitioned links for the failure
+// experiments (§2's quorum fallback), and — through a seeded FaultPlan —
+// probabilistic loss, duplication, bounded delay/reordering and link
+// flaps, fully deterministic per link so chaos runs are replayable.
 //
-// Delivery is asynchronous and per-link FIFO: each endpoint owns an
-// unbounded mailbox, so senders never block and the protocols layered on
-// top (package sim, package quorum) cannot deadlock on backpressure.
+// Delivery is asynchronous and per-link FIFO (except where a FaultPlan
+// deliberately reorders): each endpoint owns an unbounded mailbox, so
+// senders never block and the protocols layered on top (package sim,
+// package quorum) cannot deadlock on backpressure.
+//
+// Reliability accounting is kept separate from the paper's cost model:
+// first transmissions bill ControlSent/DataSent, retransmissions
+// (Message.Attempt > 0) bill RetransControl/RetransData, and the
+// reliability-layer acknowledgements (TWriteAck, TInvalAck) bill
+// AckControl, so a chaos run's first-transmission cost remains comparable
+// to the un-faulted baseline.
 package netsim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
 	"objalloc/internal/storage"
 )
 
@@ -49,7 +61,8 @@ func (k Kind) String() string {
 type Type int
 
 // Protocol message types. The replication protocols (package sim) use the
-// first group; quorum consensus (package quorum) uses the second.
+// first group; quorum consensus (package quorum) uses the second; the
+// third group is the reliability layer added for lossy networks.
 const (
 	// TReadReq asks a data processor to send back its copy (control).
 	TReadReq Type = iota
@@ -78,9 +91,22 @@ const (
 	// TQuorumAck acknowledges a quorum write (control).
 	TQuorumAck
 
+	// TWriteAck acknowledges a TWritePush under the retransmission
+	// discipline (control, billed as reliability overhead).
+	TWriteAck
+	// TInvalAck acknowledges a TInvalidate under the retransmission
+	// discipline (control, billed as reliability overhead).
+	TInvalAck
+	// TNack is a synthetic failure-detector bounce: when a message is
+	// dropped for a structural reason (crashed destination, partition,
+	// unknown id), the network delivers a TNack to a live sender. It is
+	// never billed — it models the fail-stop perfect failure detector
+	// the quorum layer already assumes, not a transmission.
+	TNack
+
 	// NumTypes bounds the message-type space; per-type counters are
 	// indexed by Type.
-	NumTypes = int(TQuorumAck) + 1
+	NumTypes = int(TNack) + 1
 )
 
 // DefaultKind returns the billing class the paper assigns to each message
@@ -102,6 +128,7 @@ func (t Type) String() string {
 		TVoteReq: "vote-req", TVoteReply: "vote-reply",
 		TQuorumRead: "quorum-read", TQuorumReadReply: "quorum-read-reply",
 		TQuorumWrite: "quorum-write", TQuorumAck: "quorum-ack",
+		TWriteAck: "write-ack", TInvalAck: "inval-ack", TNack: "nack",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -118,6 +145,12 @@ type Message struct {
 	Seq uint64
 	// Version is the object payload of data messages.
 	Version storage.Version
+	// Attempt is the retransmission count: 0 for a first transmission,
+	// k > 0 for the k-th retransmission. Retransmissions are billed into
+	// the retransmission counters, not the paper's cost counters.
+	Attempt int
+	// Orig, on a TNack, is the type of the message that bounced.
+	Orig Type
 }
 
 // Kind returns the billing class of the message.
@@ -130,20 +163,38 @@ func (m Message) Kind() Kind { return m.Type.DefaultKind() }
 // protocol message type, so the instrumentation layer can attribute each
 // request's messages (read requests vs invalidations vs write pushes...)
 // rather than only the control/data split the cost model prices.
+//
+// Reliability traffic is accounted separately so a chaos run's
+// first-transmission cost stays comparable to the un-faulted baseline:
+// retransmissions land in RetransControl/RetransData, acknowledgements of
+// the retry layer in AckControl, and fault outcomes in DroppedLoss,
+// DroppedFlap, Duplicated and Delayed. TNack bounces are synthetic and
+// unbilled; Nacks merely counts them.
 type Stats struct {
 	ControlSent int
 	DataSent    int
 	Dropped     int
-	PerType     [NumTypes]int
+
+	RetransControl int
+	RetransData    int
+	AckControl     int
+	DroppedLoss    int
+	DroppedFlap    int
+	Duplicated     int
+	Delayed        int
+	Nacks          int
+
+	PerType [NumTypes]int
 }
 
-// Network is the simulated interconnect.
-// NodeStats counts one processor's share of the traffic.
+// NodeStats counts one processor's share of the first-transmission
+// traffic (reliability overhead is excluded, as in Stats).
 type NodeStats struct {
 	ControlSent, DataSent         int
 	ControlReceived, DataReceived int
 }
 
+// Network is the simulated interconnect.
 type Network struct {
 	mu        sync.Mutex
 	endpoints map[model.ProcessorID]*Endpoint
@@ -152,8 +203,23 @@ type Network struct {
 	stats     Stats
 	perNode   map[model.ProcessorID]*NodeStats
 	closed    bool
-	// trace, when non-nil, receives every message at send time (before
-	// delivery). Used by fidelity tests.
+
+	// plan and links implement the deterministic fault layer; holdSeq
+	// totally orders held messages across links for stable release.
+	plan    FaultPlan
+	links   map[[2]model.ProcessorID]*link
+	holdSeq uint64
+
+	// o receives one structured event per drop/duplicate/delay and the
+	// matching counters; nil disables fault observability.
+	o *obs.Obs
+
+	// trace, when non-nil, receives every message at the moment its
+	// delivery is decided: delivered=true when it is enqueued into the
+	// destination mailbox (including released held messages and
+	// duplicate copies), delivered=false when it is dropped. Synthetic
+	// TNack bounces are not traced. Used by the engines' quiescence
+	// trackers and by fidelity tests.
 	trace func(Message, bool)
 }
 
@@ -164,6 +230,7 @@ func New(n int) *Network {
 		crashed:   make(map[model.ProcessorID]bool),
 		blocked:   make(map[[2]model.ProcessorID]bool),
 		perNode:   make(map[model.ProcessorID]*NodeStats, n),
+		links:     make(map[[2]model.ProcessorID]*link),
 	}
 	for i := 0; i < n; i++ {
 		id := model.ProcessorID(i)
@@ -173,8 +240,48 @@ func New(n int) *Network {
 	return nw
 }
 
-// Trace installs a callback invoked under the network lock for every Send;
-// delivered reports whether the message reached its destination mailbox.
+// InstallFaults activates a fault plan. Call before traffic flows; the
+// per-link random streams start fresh from the plan's seed.
+func (nw *Network) InstallFaults(plan FaultPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.plan = plan
+	nw.links = make(map[[2]model.ProcessorID]*link)
+	return nil
+}
+
+// Faults returns the installed fault plan (zero value when none).
+func (nw *Network) Faults() FaultPlan {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.plan
+}
+
+// Lossy reports whether an active fault plan is installed.
+func (nw *Network) Lossy() bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.plan.Active()
+}
+
+// SetObs attaches an instrumentation bundle: every dropped message emits
+// one "net.drop" event (with its reason) and bumps the net.drop.*
+// counters; duplications and delays are recorded likewise. Events from
+// concurrent senders are emitted in delivery-decision order, which is not
+// deterministic across runs — deterministic consumers should read the
+// counters (commutative) or canonicalize the event stream, as the chaos
+// runner does.
+func (nw *Network) SetObs(o *obs.Obs) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.o = o
+}
+
+// Trace installs a callback invoked under the network lock for every
+// delivery decision; see the trace field for the exact contract.
 func (nw *Network) Trace(fn func(m Message, delivered bool)) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -192,15 +299,154 @@ func (nw *Network) Endpoint(id model.ProcessorID) (*Endpoint, error) {
 	return ep, nil
 }
 
+// delivery is one decided enqueue, applied after the network lock is
+// released so mailbox signalling never nests inside it.
+type delivery struct {
+	ep *Endpoint
+	m  Message
+}
+
 // Send transmits a message. The message is billed unconditionally; it is
 // delivered unless the network is closed, the destination has crashed, the
-// link is partitioned, or the destination id is unknown. Send never blocks.
+// link is partitioned, the destination id is unknown, or the fault plan
+// drops it. Send never blocks.
 func (nw *Network) Send(m Message) {
 	nw.mu.Lock()
+	var dels []delivery
+	nw.routeLocked(m, &dels)
+	nw.mu.Unlock()
+	for _, d := range dels {
+		d.ep.enqueue(d.m)
+	}
+}
+
+// ReleaseAll flushes every held (delayed) message network-wide, in hold
+// order, re-checking crash/shutdown state at release time. It returns the
+// number of messages released (delivered or dropped). The engines call it
+// from their quiescence loops so bounded delay cannot outlive a settle.
+func (nw *Network) ReleaseAll() int {
+	nw.mu.Lock()
+	var all []heldMessage
+	for _, l := range nw.links {
+		all = append(all, l.dueHeldLocked(true)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	var dels []delivery
+	for _, h := range all {
+		nw.redeliverLocked(h.m, &dels)
+	}
+	n := len(all)
+	nw.mu.Unlock()
+	for _, d := range dels {
+		d.ep.enqueue(d.m)
+	}
+	return n
+}
+
+// routeLocked bills m, applies structural checks and the fault plan, and
+// appends the resulting enqueues to dels.
+func (nw *Network) routeLocked(m Message, dels *[]delivery) {
+	nw.billLocked(m)
+	reason := nw.structuralLocked(m)
+	var l *link
+	if reason == DropNone && nw.plan.Active() {
+		l = nw.linkOf(m.From, m.To)
+		l.tick++
+		switch {
+		case l.tick <= l.downUntil:
+			reason = DropFlap
+		case nw.plan.Flap > 0 && float01(&l.rng) < nw.plan.Flap:
+			l.downUntil = l.tick + nw.plan.flapLen()
+			reason = DropFlap
+		case nw.plan.Loss > 0 && float01(&l.rng) < nw.plan.Loss:
+			reason = DropLoss
+		}
+	}
+	if reason != DropNone {
+		nw.dropLocked(m, reason, dels)
+	} else {
+		delayed := false
+		if l != nil && nw.plan.Delay > 0 && float01(&l.rng) < nw.plan.Delay {
+			delayed = true
+			nw.stats.Delayed++
+			nw.holdSeq++
+			due := l.tick + 1 + splitmix64(&l.rng)%nw.plan.delayMax()
+			l.held = append(l.held, heldMessage{due: due, seq: nw.holdSeq, m: m})
+			nw.emitFaultLocked("net.delay", m, DropNone)
+		}
+		if !delayed {
+			nw.deliverLocked(m, dels)
+		}
+		if l != nil && nw.plan.Dup > 0 && float01(&l.rng) < nw.plan.Dup {
+			nw.stats.Duplicated++
+			nw.emitFaultLocked("net.dup", m, DropNone)
+			nw.deliverLocked(m, dels)
+		}
+	}
+	if l != nil {
+		for _, h := range l.dueHeldLocked(false) {
+			nw.redeliverLocked(h.m, dels)
+		}
+	}
+}
+
+// structuralLocked returns the fail-stop drop reason for m, or DropNone.
+func (nw *Network) structuralLocked(m Message) DropReason {
+	switch {
+	case nw.closed:
+		return DropClosed
+	case nw.endpoints[m.To] == nil:
+		return DropUnknown
+	case nw.crashed[m.From]:
+		return DropCrashedSrc
+	case nw.crashed[m.To]:
+		return DropCrashedDest
+	case nw.blocked[linkKey(m.From, m.To)]:
+		return DropPartitioned
+	default:
+		return DropNone
+	}
+}
+
+// redeliverLocked finishes a held message's journey: structural state is
+// re-checked (the destination may have crashed while the message was in
+// flight), then the message is enqueued or dropped.
+func (nw *Network) redeliverLocked(m Message, dels *[]delivery) {
+	switch {
+	case nw.closed:
+		nw.dropLocked(m, DropClosed, dels)
+	case nw.endpoints[m.To] == nil:
+		nw.dropLocked(m, DropUnknown, dels)
+	case nw.crashed[m.To]:
+		nw.dropLocked(m, DropCrashedDest, dels)
+	default:
+		nw.deliverLocked(m, dels)
+	}
+}
+
+// billLocked records the send in the accounting appropriate to its class:
+// first transmissions in the paper's counters, retransmissions and
+// reliability acks in the overhead counters. TNack is synthetic and free.
+func (nw *Network) billLocked(m Message) {
+	if m.Type == TNack {
+		return
+	}
 	if int(m.Type) >= 0 && int(m.Type) < NumTypes {
 		nw.stats.PerType[m.Type]++
 	}
-	if m.Kind() == Control {
+	control := m.Kind() == Control
+	switch {
+	case m.Attempt > 0:
+		if control {
+			nw.stats.RetransControl++
+		} else {
+			nw.stats.RetransData++
+		}
+		nw.o.Counter("net.retrans").Inc()
+	case m.Type == TWriteAck || m.Type == TInvalAck:
+		nw.stats.AckControl++
+		nw.o.Counter("net.ack").Inc()
+	case control:
 		nw.stats.ControlSent++
 		if ns := nw.perNode[m.From]; ns != nil {
 			ns.ControlSent++
@@ -208,7 +454,7 @@ func (nw *Network) Send(m Message) {
 		if ns := nw.perNode[m.To]; ns != nil {
 			ns.ControlReceived++
 		}
-	} else {
+	default:
 		nw.stats.DataSent++
 		if ns := nw.perNode[m.From]; ns != nil {
 			ns.DataSent++
@@ -217,18 +463,70 @@ func (nw *Network) Send(m Message) {
 			ns.DataReceived++
 		}
 	}
-	ep, ok := nw.endpoints[m.To]
-	deliverable := ok && !nw.closed && !nw.crashed[m.To] && !nw.crashed[m.From] && !nw.blocked[linkKey(m.From, m.To)]
-	if !deliverable {
-		nw.stats.Dropped++
+}
+
+// deliverLocked records a successful delivery decision and queues the
+// enqueue for after the lock is released.
+func (nw *Network) deliverLocked(m Message, dels *[]delivery) {
+	ep := nw.endpoints[m.To]
+	if ep == nil {
+		return
+	}
+	if nw.trace != nil && m.Type != TNack {
+		nw.trace(m, true)
+	}
+	*dels = append(*dels, delivery{ep, m})
+}
+
+// dropLocked records a drop, emits its event, and — for structural drops
+// of real traffic — bounces a synthetic TNack to a live sender, modeling
+// the fail-stop perfect failure detector.
+func (nw *Network) dropLocked(m Message, reason DropReason, dels *[]delivery) {
+	if m.Type == TNack {
+		return // a bounce that cannot be delivered is simply gone
+	}
+	nw.stats.Dropped++
+	switch reason {
+	case DropLoss:
+		nw.stats.DroppedLoss++
+	case DropFlap:
+		nw.stats.DroppedFlap++
 	}
 	if nw.trace != nil {
-		nw.trace(m, deliverable)
+		nw.trace(m, false)
 	}
-	nw.mu.Unlock()
-	if deliverable {
-		ep.enqueue(m)
+	nw.emitFaultLocked("net.drop", m, reason)
+	if reason.Structural() && !nw.closed && !nw.crashed[m.From] {
+		if sep, ok := nw.endpoints[m.From]; ok {
+			nw.stats.Nacks++
+			*dels = append(*dels, delivery{sep, Message{
+				From: m.To, To: m.From, Type: TNack,
+				Seq: m.Seq, Orig: m.Type, Attempt: m.Attempt,
+			}})
+		}
 	}
+}
+
+// emitFaultLocked emits one fault event and bumps its counters.
+func (nw *Network) emitFaultLocked(name string, m Message, reason DropReason) {
+	o := nw.o
+	if o == nil {
+		return
+	}
+	o.Counter(name).Inc()
+	attrs := []obs.Attr{
+		obs.Int("from", int(m.From)),
+		obs.Int("to", int(m.To)),
+		obs.String("type", m.Type.String()),
+	}
+	if reason != DropNone {
+		o.Counter(name + "." + reason.String()).Inc()
+		attrs = append(attrs, obs.String("reason", reason.String()))
+	}
+	if m.Attempt > 0 {
+		attrs = append(attrs, obs.Int("attempt", m.Attempt))
+	}
+	o.Emit(obs.Event{Name: name, Attrs: attrs})
 }
 
 // Stats returns a snapshot of the counters.
@@ -259,22 +557,31 @@ func (nw *Network) ResetStats() {
 }
 
 // Crash makes the processor unreachable and stops it from sending; its
-// queued messages are discarded.
-func (nw *Network) Crash(id model.ProcessorID) {
+// queued messages are discarded. Crashing an unknown processor is an
+// error (it used to silently register the id as crashed).
+func (nw *Network) Crash(id model.ProcessorID) error {
 	nw.mu.Lock()
-	ep := nw.endpoints[id]
+	ep, ok := nw.endpoints[id]
+	if !ok {
+		nw.mu.Unlock()
+		return fmt.Errorf("netsim: crash of unknown processor %d", id)
+	}
 	nw.crashed[id] = true
 	nw.mu.Unlock()
-	if ep != nil {
-		ep.drain()
-	}
+	ep.drain()
+	return nil
 }
 
-// Restart makes a crashed processor reachable again.
-func (nw *Network) Restart(id model.ProcessorID) {
+// Restart makes a crashed processor reachable again. Restarting an
+// unknown processor is an error; restarting a live one is a no-op.
+func (nw *Network) Restart(id model.ProcessorID) error {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	if _, ok := nw.endpoints[id]; !ok {
+		return fmt.Errorf("netsim: restart of unknown processor %d", id)
+	}
 	delete(nw.crashed, id)
+	return nil
 }
 
 // Crashed reports whether the processor is currently crashed.
@@ -284,20 +591,35 @@ func (nw *Network) Crashed(id model.ProcessorID) bool {
 	return nw.crashed[id]
 }
 
-// Partition blocks the (bidirectional) link between a and b.
-func (nw *Network) Partition(a, b model.ProcessorID) {
+// Partition blocks the (bidirectional) link between a and b. Both
+// processors must exist.
+func (nw *Network) Partition(a, b model.ProcessorID) error {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	if _, ok := nw.endpoints[a]; !ok {
+		return fmt.Errorf("netsim: partition of unknown processor %d", a)
+	}
+	if _, ok := nw.endpoints[b]; !ok {
+		return fmt.Errorf("netsim: partition of unknown processor %d", b)
+	}
 	nw.blocked[linkKey(a, b)] = true
 	nw.blocked[linkKey(b, a)] = true
+	return nil
 }
 
-// Heal unblocks the link between a and b.
-func (nw *Network) Heal(a, b model.ProcessorID) {
+// Heal unblocks the link between a and b. Both processors must exist.
+func (nw *Network) Heal(a, b model.ProcessorID) error {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	if _, ok := nw.endpoints[a]; !ok {
+		return fmt.Errorf("netsim: heal of unknown processor %d", a)
+	}
+	if _, ok := nw.endpoints[b]; !ok {
+		return fmt.Errorf("netsim: heal of unknown processor %d", b)
+	}
 	delete(nw.blocked, linkKey(a, b))
 	delete(nw.blocked, linkKey(b, a))
+	return nil
 }
 
 func linkKey(a, b model.ProcessorID) [2]model.ProcessorID {
@@ -305,6 +627,7 @@ func linkKey(a, b model.ProcessorID) [2]model.ProcessorID {
 }
 
 // Close shuts every endpoint down; pending Recv calls return ok = false.
+// Held (delayed) messages are discarded.
 func (nw *Network) Close() {
 	nw.mu.Lock()
 	if nw.closed {
@@ -312,6 +635,7 @@ func (nw *Network) Close() {
 		return
 	}
 	nw.closed = true
+	nw.links = make(map[[2]model.ProcessorID]*link)
 	eps := make([]*Endpoint, 0, len(nw.endpoints))
 	for _, ep := range nw.endpoints {
 		eps = append(eps, ep)

@@ -183,6 +183,17 @@ func (s *MemSink) Events() []Event {
 	return append([]Event(nil), s.events...)
 }
 
+// Drain returns the collected events in emission order and clears the
+// sink. The chaos runner uses it to canonicalize each step's raw network
+// events before re-emitting them in a deterministic order.
+func (s *MemSink) Drain() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.events
+	s.events = nil
+	return out
+}
+
 // Named returns the collected events with the given name.
 func (s *MemSink) Named(name string) []Event {
 	s.mu.Lock()

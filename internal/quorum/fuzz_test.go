@@ -1,0 +1,65 @@
+package quorum
+
+import "testing"
+
+// FuzzConfigNormalize feeds arbitrary quorum shapes through normalize and
+// checks the safety contract: any accepted configuration must satisfy the
+// intersection inequalities (R+W > total votes, 2W > total votes) with
+// positive quorums, and normalization must be idempotent.
+func FuzzConfigNormalize(f *testing.F) {
+	f.Add(5, 0, 0, []byte(nil))
+	f.Add(5, 3, 3, []byte{1, 1, 1, 1, 1})
+	f.Add(4, 2, 3, []byte{2, 1, 1, 0})
+	f.Add(1, 1, 1, []byte(nil))
+	f.Add(3, 0, 2, []byte{0, 0, 0})
+	f.Add(-1, 0, 0, []byte(nil))
+	f.Add(6, 7, 7, []byte(nil))
+	f.Fuzz(func(t *testing.T, n, r, w int, weightBytes []byte) {
+		cfg := Config{N: n, ReadQuorum: r, WriteQuorum: w}
+		if weightBytes != nil {
+			cfg.Weights = make([]int, len(weightBytes))
+			for i, b := range weightBytes {
+				cfg.Weights[i] = int(b)
+			}
+		}
+		if err := cfg.normalize(); err != nil {
+			return // rejected shapes are fine; we check accepted ones
+		}
+		total := cfg.N
+		if cfg.Weights != nil {
+			if len(cfg.Weights) != cfg.N {
+				t.Fatalf("accepted %d weights for N=%d", len(cfg.Weights), cfg.N)
+			}
+			total = 0
+			for i, wt := range cfg.Weights {
+				if wt < 0 {
+					t.Fatalf("accepted negative weight at %d", i)
+				}
+				total += wt
+			}
+			if total == 0 {
+				t.Fatal("accepted all-zero weights")
+			}
+		}
+		if cfg.N < 1 {
+			t.Fatalf("accepted N=%d", cfg.N)
+		}
+		if cfg.ReadQuorum < 1 || cfg.WriteQuorum < 1 {
+			t.Fatalf("accepted non-positive quorum R=%d W=%d", cfg.ReadQuorum, cfg.WriteQuorum)
+		}
+		if cfg.ReadQuorum+cfg.WriteQuorum <= total {
+			t.Fatalf("accepted R=%d W=%d with total=%d: read/write quorums need not intersect", cfg.ReadQuorum, cfg.WriteQuorum, total)
+		}
+		if 2*cfg.WriteQuorum <= total {
+			t.Fatalf("accepted W=%d with total=%d: write quorums need not intersect", cfg.WriteQuorum, total)
+		}
+		// Idempotence: renormalizing a normalized config changes nothing.
+		again := cfg
+		if err := again.normalize(); err != nil {
+			t.Fatalf("renormalize rejected accepted config: %v", err)
+		}
+		if again.ReadQuorum != cfg.ReadQuorum || again.WriteQuorum != cfg.WriteQuorum {
+			t.Fatalf("normalize not idempotent: %+v -> %+v", cfg, again)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package quorum
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"objalloc/internal/model"
@@ -15,10 +16,18 @@ const (
 	cmdRead cmdKind = iota
 	cmdWrite
 	cmdInstall
+	// cmdKick retransmits the outstanding requests of a still-running
+	// operation's current phase (lossy mode).
+	cmdKick
+	// cmdAbort resolves a still-running operation with an error — the
+	// driver's retry budget is exhausted.
+	cmdAbort
 )
 
 type command struct {
 	kind    cmdKind
+	corr    uint64 // operation correlation id (driver-generated)
+	attempt int    // retransmission number for cmdKick
 	targets model.Set
 	data    []byte
 	version storage.Version
@@ -48,6 +57,13 @@ type op struct {
 	maxSeq    uint64
 	maxHolder model.ProcessorID
 	data      []byte
+	// ver is the version being installed in phaseAcks, kept for
+	// retransmission.
+	ver storage.Version
+	// got records the peers whose reply was already counted in the
+	// current phase, so duplicated or retransmitted replies cannot
+	// double-decrement awaiting. Reset at each phase transition.
+	got model.Set
 	// votes records each voter's version number when read-repair is on.
 	votes map[model.ProcessorID]uint64
 }
@@ -64,8 +80,7 @@ type node struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	corr uint64
-	ops  map[uint64]*op
+	ops map[uint64]*op
 }
 
 func newNode(c *Cluster, id model.ProcessorID, st storage.Store) (*node, error) {
@@ -130,7 +145,11 @@ func (n *node) loop() {
 				return
 			}
 			n.handleMessage(m)
-			n.c.track.done()
+			if m.Type != netsim.TNack {
+				// TNack bounces are synthetic (untraced, untracked);
+				// everything else was counted at delivery.
+				n.c.track.done()
+			}
 		}
 	}
 }
@@ -146,15 +165,58 @@ func (n *node) handleCommand(cmd command) {
 		cmd.reply <- result{version: cmd.version}
 	case cmdRead, cmdWrite:
 		n.beginVoting(cmd)
+	case cmdKick:
+		n.kick(cmd.corr, cmd.attempt)
+	case cmdAbort:
+		n.abort(cmd.corr)
 	}
+}
+
+// kick retransmits the outstanding requests of an operation's current
+// phase: vote requests to voters that have not answered, the fetch to the
+// max holder, or installs to quorum members that have not acknowledged.
+// Receivers are stateless or seq-guarded, so re-answering is safe; the
+// retransmissions are billed to the reliability counters.
+func (n *node) kick(corr uint64, attempt int) {
+	o, ok := n.ops[corr]
+	if !ok {
+		return // completed in the meantime
+	}
+	n.c.cfg.Obs.Counter("quorum.retries").Inc()
+	switch o.phase {
+	case phaseVotes:
+		o.targets.ForEach(func(t model.ProcessorID) {
+			if t != n.id && !o.got.Contains(t) {
+				n.c.net.Send(netsim.Message{From: n.id, To: t, Type: netsim.TVoteReq, Seq: corr, Attempt: attempt})
+			}
+		})
+	case phaseFetch:
+		n.c.net.Send(netsim.Message{From: n.id, To: o.maxHolder, Type: netsim.TQuorumRead, Seq: corr, Attempt: attempt})
+	case phaseAcks:
+		o.targets.ForEach(func(t model.ProcessorID) {
+			if t != n.id && !o.got.Contains(t) {
+				n.c.net.Send(netsim.Message{From: n.id, To: t, Type: netsim.TQuorumWrite, Seq: corr, Version: o.ver, Attempt: attempt})
+			}
+		})
+	}
+}
+
+// abort resolves a still-running operation with an unavailability error:
+// the retry budget is exhausted without assembling the quorum's answers.
+func (n *node) abort(corr uint64) {
+	o, ok := n.ops[corr]
+	if !ok {
+		return
+	}
+	n.c.cfg.Obs.Counter("quorum.giveup").Inc()
+	n.finish(corr, o, result{err: fmt.Errorf("%w: retry budget exhausted in phase %d", ErrUnavailable, o.phase)})
 }
 
 // beginVoting starts phase one of a read or write: collect version numbers
 // from the quorum. The local vote is immediate (a catalog lookup); remote
 // votes are control-message round trips.
 func (n *node) beginVoting(cmd command) {
-	n.corr++
-	corr := uint64(n.id)<<32 | n.corr
+	corr := cmd.corr
 	o := &op{kind: cmd.kind, reply: cmd.reply, targets: cmd.targets, data: cmd.data, phase: phaseVotes, maxHolder: -1}
 	if cmd.kind == cmdRead && n.c.cfg.ReadRepair {
 		o.votes = make(map[model.ProcessorID]uint64, cmd.targets.Size())
@@ -201,6 +263,7 @@ func (n *node) advance(corr uint64, o *op) {
 		}
 	case cmdWrite:
 		o.phase = phaseAcks
+		o.got = model.EmptySet // fresh dedup set for the ack phase
 		v := storage.Version{Seq: o.maxSeq + 1, Writer: int(n.id), Data: o.data}
 		if o.targets.Contains(n.id) {
 			if err := n.store.Put(v); err != nil {
@@ -210,6 +273,7 @@ func (n *node) advance(corr uint64, o *op) {
 		}
 		o.data = nil
 		o.maxSeq = v.Seq
+		o.ver = v
 		o.targets.ForEach(func(t model.ProcessorID) {
 			if t == n.id {
 				return
@@ -238,8 +302,16 @@ func (n *node) maybeRepair(o *op, latest storage.Version) {
 	if o.votes == nil || latest.IsZero() {
 		return
 	}
-	for voter, seq := range o.votes {
-		if seq >= latest.Seq {
+	// Map iteration order is randomized; push in voter-id order so the
+	// global send sequence (and with it delayed-message release order on a
+	// faulted network) stays deterministic.
+	voters := make([]model.ProcessorID, 0, len(o.votes))
+	for voter := range o.votes {
+		voters = append(voters, voter)
+	}
+	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
+	for _, voter := range voters {
+		if o.votes[voter] >= latest.Seq {
 			continue
 		}
 		if voter == n.id {
@@ -254,19 +326,29 @@ func (n *node) handleMessage(m netsim.Message) {
 	switch m.Type {
 	case netsim.TVoteReq:
 		// Version numbers are catalog metadata: answering costs one
-		// control message, no object I/O.
+		// control message, no object I/O. The handler is stateless, so a
+		// duplicated or retransmitted request is simply re-answered; the
+		// repeat reply inherits the request's attempt number and is
+		// billed as reliability overhead.
 		var seq uint64
 		if v, ok := n.store.Peek(); ok {
 			seq = v.Seq
 		}
-		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TVoteReply, Seq: m.Seq, Version: storage.Version{Seq: seq}})
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TVoteReply, Seq: m.Seq, Version: storage.Version{Seq: seq}, Attempt: m.Attempt})
 
 	case netsim.TVoteReply:
 		o, ok := n.ops[m.Seq]
-		if !ok || o.phase != phaseVotes {
+		if !ok || o.phase != phaseVotes || o.got.Contains(m.From) {
 			return
 		}
-		if m.Version.Seq > 0 && (o.maxHolder < 0 || m.Version.Seq > o.maxSeq) {
+		o.got = o.got.Add(m.From)
+		// Ties on the version number break toward the lowest processor id.
+		// Every vote is awaited before the fetch target is chosen, so this
+		// makes the choice a function of the vote set alone — reply arrival
+		// order (which goroutine scheduling controls) cannot influence which
+		// link carries the fetch, keeping faulted runs seed-deterministic.
+		if m.Version.Seq > 0 && (o.maxHolder < 0 || m.Version.Seq > o.maxSeq ||
+			(m.Version.Seq == o.maxSeq && m.From < o.maxHolder)) {
 			o.maxSeq, o.maxHolder = m.Version.Seq, m.From
 		}
 		if o.votes != nil {
@@ -279,7 +361,7 @@ func (n *node) handleMessage(m netsim.Message) {
 
 	case netsim.TQuorumRead:
 		v, err := n.store.Get()
-		reply := netsim.Message{From: n.id, To: m.From, Type: netsim.TQuorumReadReply, Seq: m.Seq}
+		reply := netsim.Message{From: n.id, To: m.From, Type: netsim.TQuorumReadReply, Seq: m.Seq, Attempt: m.Attempt}
 		if err == nil {
 			reply.Version = v
 		}
@@ -304,22 +386,38 @@ func (n *node) handleMessage(m netsim.Message) {
 		}
 
 	case netsim.TQuorumWrite:
-		// Guard against stale installs racing ahead of repairs.
+		// Guard against stale installs racing ahead of repairs — which
+		// also makes duplicated or retransmitted installs idempotent.
+		// The acknowledgement is always (re-)sent: it may have been the
+		// lost half of the round trip.
 		if v, ok := n.store.Peek(); !ok || v.Seq < m.Version.Seq {
 			if err := n.store.Put(m.Version); err != nil {
 				return
 			}
 		}
-		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TQuorumAck, Seq: m.Seq})
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TQuorumAck, Seq: m.Seq, Attempt: m.Attempt})
 
 	case netsim.TQuorumAck:
 		o, ok := n.ops[m.Seq]
-		if !ok || o.phase != phaseAcks {
+		if !ok || o.phase != phaseAcks || o.got.Contains(m.From) {
 			return
 		}
+		o.got = o.got.Add(m.From)
 		o.awaiting--
 		if o.awaiting == 0 {
 			n.finish(m.Seq, o, result{version: storage.Version{Seq: o.maxSeq, Writer: int(n.id)}})
+		}
+
+	case netsim.TNack:
+		// The failure detector bounced one of this operation's requests:
+		// the peer is down, so the quorum assembled at op start can no
+		// longer answer. Abort with the peer attached; the caller (or the
+		// failover layer) re-runs against a fresh quorum.
+		switch m.Orig {
+		case netsim.TVoteReq, netsim.TQuorumRead, netsim.TQuorumWrite:
+			if o, ok := n.ops[m.Seq]; ok {
+				n.finish(m.Seq, o, result{err: fmt.Errorf("%w: %w", ErrUnavailable, netsim.Unreachable{Peer: m.From})})
+			}
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
@@ -74,6 +75,16 @@ type Config struct {
 	// failover layer and the experiments drive quorum mode). Nil disables
 	// instrumentation.
 	Obs *obs.Obs
+	// Faults, when non-nil and active, installs a deterministic fault
+	// plan on the network and — unless Retry disables it — engages the
+	// retransmission discipline: vote/fetch/install rounds are
+	// retransmitted under capped exponential backoff with duplicate
+	// replies deduplicated, and an operation whose budget is exhausted
+	// aborts with an ErrUnavailable-wrapped netsim.Unreachable.
+	Faults *netsim.FaultPlan
+	// Retry tunes the retransmission discipline; the zero value enables
+	// it (with default caps) exactly when Faults is active.
+	Retry netsim.RetryPolicy
 }
 
 func (c *Config) normalize() error {
@@ -95,6 +106,9 @@ func (c *Config) normalize() error {
 		if totalVotes == 0 {
 			return fmt.Errorf("quorum: all weights zero")
 		}
+	}
+	if c.ReadQuorum < 0 || c.WriteQuorum < 0 {
+		return fmt.Errorf("quorum: negative quorum R=%d W=%d", c.ReadQuorum, c.WriteQuorum)
 	}
 	if c.ReadQuorum == 0 {
 		c.ReadQuorum = totalVotes/2 + 1
@@ -124,6 +138,12 @@ type Cluster struct {
 	net   *netsim.Network
 	nodes []*node
 
+	// lossy is set when a fault plan is active; retries additionally
+	// requires the retransmission discipline not to be disabled.
+	lossy   bool
+	retries bool
+	corrSeq atomic.Uint64 // driver-side operation correlation ids
+
 	mu      sync.Mutex
 	alive   model.Set
 	track   *tracker
@@ -138,6 +158,14 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg, net: netsim.New(cfg.N), alive: model.FullSet(cfg.N), track: newTracker()}
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		if err := c.net.InstallFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
+		c.lossy = true
+		c.retries = !cfg.Retry.Disabled
+	}
+	c.net.SetObs(cfg.Obs)
 	c.net.Trace(func(_ netsim.Message, delivered bool) {
 		if delivered {
 			c.track.add(1)
@@ -179,20 +207,28 @@ func New(cfg Config) (*Cluster, error) {
 
 // Crash marks a processor failed: it stops answering and its messages are
 // dropped. Its local database contents survive for a later Restart.
-func (c *Cluster) Crash(id model.ProcessorID) {
+// Crashing an unknown processor is an error.
+func (c *Cluster) Crash(id model.ProcessorID) error {
+	if err := c.net.Crash(id); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	c.alive = c.alive.Remove(id)
 	c.mu.Unlock()
-	c.net.Crash(id)
+	return nil
 }
 
 // Restart brings a crashed processor back with whatever its local database
-// last held. Use Recover to bring its copy up to date.
-func (c *Cluster) Restart(id model.ProcessorID) {
-	c.net.Restart(id)
+// last held. Use Recover to bring its copy up to date. Restarting an
+// unknown processor is an error.
+func (c *Cluster) Restart(id model.ProcessorID) error {
+	if err := c.net.Restart(id); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	c.alive = c.alive.Add(id)
 	c.mu.Unlock()
+	return nil
 }
 
 // Alive returns the set of live processors.
@@ -251,14 +287,72 @@ func (c *Cluster) read(p model.ProcessorID) (storage.Version, error) {
 	if err != nil {
 		return storage.Version{}, err
 	}
-	reply := make(chan result, 1)
-	c.track.add(1)
-	if !n.submit(command{kind: cmdRead, targets: targets, reply: reply}) {
-		c.track.done()
+	return c.perform(n, command{kind: cmdRead, targets: targets, reply: make(chan result, 1)})
+}
+
+// perform submits a read or write to the issuing node's event loop and
+// waits for its result. On a lossy network with retries enabled it drives
+// the operation's retransmission discipline: after each quiescence round
+// whose backoff has elapsed it kicks the node into retransmitting the
+// phase's outstanding requests, and when the attempt budget is exhausted
+// it aborts the operation with an ErrUnavailable-wrapped Unreachable.
+func (c *Cluster) perform(n *node, cmd command) (storage.Version, error) {
+	cmd.corr = c.corrSeq.Add(1)
+	if !c.submitTracked(n, cmd) {
 		return storage.Version{}, errClusterClosed
 	}
-	res := <-reply
-	return res.version, res.err
+	if !c.retries {
+		res := <-cmd.reply
+		return res.version, res.err
+	}
+	maxAttempts := c.cfg.Retry.Attempts()
+	attempt, nextKick := 0, 1
+	for round := 1; ; round++ {
+		c.settle()
+		select {
+		case res := <-cmd.reply:
+			return res.version, res.err
+		default:
+		}
+		if round < nextKick {
+			continue
+		}
+		attempt++
+		kind := cmdKick
+		if attempt > maxAttempts {
+			kind = cmdAbort
+		}
+		if !c.submitTracked(n, command{kind: kind, corr: cmd.corr, attempt: attempt}) {
+			return storage.Version{}, errClusterClosed
+		}
+		if kind == cmdAbort {
+			res := <-cmd.reply
+			return res.version, res.err
+		}
+		nextKick = round + c.cfg.Retry.Backoff(attempt)
+	}
+}
+
+// submitTracked hands a command to a node's event loop, accounting it as
+// outstanding work until the handler finishes.
+func (c *Cluster) submitTracked(n *node, cmd command) bool {
+	c.track.add(1)
+	if !n.submit(cmd) {
+		c.track.done()
+		return false
+	}
+	return true
+}
+
+// settle waits for full quiescence: no outstanding tracked work and no
+// held (delayed) messages anywhere in the network.
+func (c *Cluster) settle() {
+	for {
+		c.track.wait()
+		if c.net.ReleaseAll() == 0 {
+			return
+		}
+	}
 }
 
 // Write executes a quorum write issued by processor p: version numbers are
@@ -288,21 +382,15 @@ func (c *Cluster) write(p model.ProcessorID, data []byte) (storage.Version, erro
 	if err != nil {
 		return storage.Version{}, err
 	}
-	reply := make(chan result, 1)
-	c.track.add(1)
-	if !n.submit(command{kind: cmdWrite, targets: targets, data: data, reply: reply}) {
-		c.track.done()
-		return storage.Version{}, errClusterClosed
-	}
-	res := <-reply
-	if res.err == nil {
+	v, err := c.perform(n, command{kind: cmdWrite, targets: targets, data: data, reply: make(chan result, 1)})
+	if err == nil {
 		c.mu.Lock()
-		if res.version.Seq > c.seqHint {
-			c.seqHint = res.version.Seq
+		if v.Seq > c.seqHint {
+			c.seqHint = v.Seq
 		}
 		c.mu.Unlock()
 	}
-	return res.version, res.err
+	return v, err
 }
 
 // Recover brings a restarted processor's copy up to date by reading from a
@@ -337,9 +425,7 @@ func (c *Cluster) recover(id model.ProcessorID) (missed uint64, err error) {
 	}
 	if latest.Seq > before {
 		done := make(chan result, 1)
-		c.track.add(1)
-		if !n.submit(command{kind: cmdInstall, version: latest, reply: done}) {
-			c.track.done()
+		if !c.submitTracked(n, command{kind: cmdInstall, version: latest, reply: done}) {
 			return 0, errClusterClosed
 		}
 		if res := <-done; res.err != nil {
@@ -382,8 +468,23 @@ func (c *Cluster) StoreOf(id model.ProcessorID) (storage.Store, error) {
 }
 
 // Quiesce blocks until every in-flight message and command has been
-// processed — e.g. until fire-and-forget read repairs have settled.
-func (c *Cluster) Quiesce() { c.track.wait() }
+// processed — e.g. until fire-and-forget read repairs have settled — and
+// no artificially delayed message is still held by the network.
+func (c *Cluster) Quiesce() { c.settle() }
+
+// HolderSeqs returns, per processor, the sequence number of the locally
+// held copy (0 when none), after quiescing the cluster. The chaos runner's
+// invariant checker uses it for per-processor version monotonicity.
+func (c *Cluster) HolderSeqs() []uint64 {
+	c.settle()
+	out := make([]uint64, len(c.nodes))
+	for i, n := range c.nodes {
+		if v, ok := n.store.Peek(); ok {
+			out[i] = v.Seq
+		}
+	}
+	return out
+}
 
 // Network exposes the underlying network for accounting and fault
 // injection by the failover layer and tests.

@@ -14,18 +14,50 @@ type cmdKind int
 const (
 	cmdRead cmdKind = iota
 	cmdWrite
+	// cmdRetryRead retransmits a still-pending read request (lossy mode).
+	cmdRetryRead
+	// cmdFailRead resolves a still-pending read with Unreachable — the
+	// driver's retry budget is exhausted.
+	cmdFailRead
+	// cmdOutbox reports and retransmits the node's unacknowledged pushes
+	// and invalidations (lossy mode, one poll per quiescence round).
+	cmdOutbox
 )
 
 type command struct {
-	kind      cmdKind
-	version   storage.Version // write payload
-	readReply chan readResult
-	writeDone chan error
+	kind        cmdKind
+	corr        uint64          // read correlation id (driver-generated)
+	attempt     int             // retransmission number for cmdRetryRead
+	round       int             // quiescence round for cmdOutbox
+	version     storage.Version // write payload
+	readReply   chan readResult
+	writeDone   chan error
+	outboxReply chan outboxStatus
 }
 
 type readResult struct {
 	version storage.Version
 	err     error
+}
+
+// outboxStatus is a node's answer to one cmdOutbox poll.
+type outboxStatus struct {
+	outstanding int                 // unacknowledged entries still being retried
+	gaveUp      []model.ProcessorID // peers whose retry budget is exhausted
+}
+
+// outKey identifies one reliable transmission awaiting acknowledgement.
+type outKey struct {
+	to  model.ProcessorID
+	typ netsim.Type
+	seq uint64
+}
+
+// outEntry is the retransmission state of one unacknowledged message.
+type outEntry struct {
+	m        netsim.Message
+	attempts int // retransmissions so far
+	due      int // earliest quiescence round for the next retransmission
 }
 
 // node is one processor: an event loop over driver commands and network
@@ -41,10 +73,20 @@ type node struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 
-	// corr generates correlation ids for read requests issued by this node.
-	corr uint64
 	// pending maps correlation id -> the driver waiting for a read reply.
 	pending map[uint64]chan readResult
+	// maxSeen is the highest version sequence number this node has
+	// witnessed (installed, invalidated away, or written); duplicated or
+	// delayed pushes at or below it are acknowledged but not re-installed,
+	// which keeps the handlers idempotent on a faulty network.
+	maxSeen uint64
+	// served records read correlation ids already answered, so duplicated
+	// or retransmitted requests are re-answered as retransmissions
+	// (billed to the reliability counters, not the paper's cost model).
+	served map[uint64]bool
+	// outbox holds unacknowledged pushes/invalidations for retransmission
+	// (lossy mode with retries only).
+	outbox map[outKey]*outEntry
 
 	// DA state on members of F.
 	inF      bool
@@ -70,7 +112,12 @@ func newNode(c *Cluster, id model.ProcessorID, st storage.Store) (*node, error) 
 		msgs:    make(chan netsim.Message, 64),
 		quit:    make(chan struct{}),
 		pending: make(map[uint64]chan readResult),
+		served:  make(map[uint64]bool),
+		outbox:  make(map[outKey]*outEntry),
 		extra:   -1,
+	}
+	if v, ok := st.Peek(); ok {
+		n.maxSeen = v.Seq
 	}
 	if c.cfg.Protocol == DA {
 		n.inF = c.core.Contains(id)
@@ -131,7 +178,11 @@ func (n *node) loop() {
 				return
 			}
 			n.handleMessage(m)
-			n.c.track.done()
+			if m.Type != netsim.TNack {
+				// TNack bounces are synthetic (untraced, untracked);
+				// everything else was counted at delivery.
+				n.c.track.done()
+			}
 		}
 	}
 }
@@ -139,26 +190,50 @@ func (n *node) loop() {
 func (n *node) handleCommand(cmd command) {
 	switch cmd.kind {
 	case cmdRead:
-		n.startRead(cmd.readReply)
+		n.startRead(cmd.corr, cmd.readReply)
 	case cmdWrite:
 		cmd.writeDone <- n.doWrite(cmd.version)
+	case cmdRetryRead:
+		n.retryRead(cmd.corr, cmd.attempt)
+	case cmdFailRead:
+		n.failRead(cmd.corr)
+	case cmdOutbox:
+		cmd.outboxReply <- n.pollOutbox(cmd.round)
 	}
 }
 
 // startRead begins servicing a read issued at this processor. Local copies
 // are read directly; otherwise a read request goes to the serving replica
-// and the reply handler resolves the driver's channel.
-func (n *node) startRead(reply chan readResult) {
+// and the reply handler resolves the driver's channel. The correlation id
+// is driver-generated so the driver can retransmit or abandon the read.
+func (n *node) startRead(corr uint64, reply chan readResult) {
 	if n.hasValidCopy() {
 		v, err := n.store.Get()
 		reply <- readResult{version: v, err: err}
 		return
 	}
-	server := n.serverReplica()
-	n.corr++
-	corr := uint64(n.id)<<32 | n.corr
 	n.pending[corr] = reply
-	n.c.net.Send(netsim.Message{From: n.id, To: server, Type: netsim.TReadReq, Seq: corr})
+	n.c.net.Send(netsim.Message{From: n.id, To: n.serverReplica(), Type: netsim.TReadReq, Seq: corr})
+}
+
+// retryRead retransmits a read request that is still unanswered.
+func (n *node) retryRead(corr uint64, attempt int) {
+	if _, ok := n.pending[corr]; !ok {
+		return // answered (or nacked) in the meantime
+	}
+	n.c.cfg.Obs.Counter("sim.read.retries").Inc()
+	n.c.net.Send(netsim.Message{From: n.id, To: n.serverReplica(), Type: netsim.TReadReq, Seq: corr, Attempt: attempt})
+}
+
+// failRead gives up on a still-pending read: the retry budget is spent.
+func (n *node) failRead(corr uint64) {
+	reply, ok := n.pending[corr]
+	if !ok {
+		return
+	}
+	delete(n.pending, corr)
+	n.c.cfg.Obs.Counter("sim.read.giveup").Inc()
+	reply <- readResult{err: netsim.Unreachable{Peer: n.serverReplica()}}
 }
 
 // hasValidCopy reports whether the local database holds the latest version.
@@ -189,15 +264,52 @@ func (n *node) doWrite(v storage.Version) error {
 			return fmt.Errorf("sim: write at %d: %w", n.id, err)
 		}
 	}
+	if v.Seq > n.maxSeen {
+		n.maxSeen = v.Seq
+	}
 	x.ForEach(func(q model.ProcessorID) {
 		if q != n.id {
-			n.c.net.Send(netsim.Message{From: n.id, To: q, Type: netsim.TWritePush, Seq: v.Seq, Version: v})
+			n.sendReliable(netsim.Message{From: n.id, To: q, Type: netsim.TWritePush, Seq: v.Seq, Version: v})
 		}
 	})
 	if n.inF {
-		n.invalidationDuty(model.ProcessorID(v.Writer), x)
+		n.invalidationDuty(model.ProcessorID(v.Writer), v.Seq, x)
 	}
 	return nil
+}
+
+// sendReliable transmits a push or invalidation and, when the
+// retransmission discipline is engaged, records it in the outbox until the
+// destination acknowledges it.
+func (n *node) sendReliable(m netsim.Message) {
+	n.c.net.Send(m)
+	if n.c.retries {
+		n.outbox[outKey{to: m.To, typ: m.Type, seq: m.Seq}] = &outEntry{m: m, due: 1}
+	}
+}
+
+// pollOutbox is one quiescence round of the retransmission discipline:
+// entries whose backoff round has arrived are retransmitted; entries whose
+// budget is spent are dropped and reported as given up.
+func (n *node) pollOutbox(round int) outboxStatus {
+	var st outboxStatus
+	maxAttempts := n.c.cfg.Retry.Attempts()
+	for k, e := range n.outbox {
+		if e.attempts >= maxAttempts {
+			delete(n.outbox, k)
+			st.gaveUp = append(st.gaveUp, k.to)
+			continue
+		}
+		st.outstanding++
+		if round >= e.due {
+			e.attempts++
+			m := e.m
+			m.Attempt = e.attempts
+			n.c.net.Send(m)
+			e.due = round + n.c.cfg.Retry.Backoff(e.attempts)
+		}
+	}
+	return st
 }
 
 // execSet is the execution set of a write issued by writer (§4.2.1/§4.2.2).
@@ -218,16 +330,16 @@ func (n *node) execSet(writer model.ProcessorID) model.Set {
 // and — on the smallest member of F — the non-F processor installed by the
 // previous write. Summed over F, the messages sent are exactly the paper's
 // |Y \ X| invalidations.
-func (n *node) invalidationDuty(writer model.ProcessorID, x model.Set) {
+func (n *node) invalidationDuty(writer model.ProcessorID, seq uint64, x model.Set) {
 	for joiner := range n.joinList {
 		if joiner != writer && !x.Contains(joiner) {
-			n.c.net.Send(netsim.Message{From: n.id, To: joiner, Type: netsim.TInvalidate})
+			n.sendReliable(netsim.Message{From: n.id, To: joiner, Type: netsim.TInvalidate, Seq: seq})
 		}
 		delete(n.joinList, joiner)
 	}
 	if n.minF {
 		if n.extra >= 0 && n.extra != writer && !x.Contains(n.extra) {
-			n.c.net.Send(netsim.Message{From: n.id, To: n.extra, Type: netsim.TInvalidate})
+			n.sendReliable(netsim.Message{From: n.id, To: n.extra, Type: netsim.TInvalidate, Seq: seq})
 		}
 		n.extra = x.Diff(n.c.core).Min()
 	}
@@ -242,9 +354,50 @@ func (n *node) handleMessage(m netsim.Message) {
 	case netsim.TWritePush:
 		n.applyPush(m)
 	case netsim.TInvalidate:
-		// The local copy is obsolete; discard it. Invalidation is a
-		// catalog operation, no object I/O.
+		n.applyInvalidate(m)
+	case netsim.TWriteAck:
+		delete(n.outbox, outKey{to: m.From, typ: netsim.TWritePush, seq: m.Seq})
+	case netsim.TInvalAck:
+		delete(n.outbox, outKey{to: m.From, typ: netsim.TInvalidate, seq: m.Seq})
+	case netsim.TNack:
+		n.handleNack(m)
+	}
+}
+
+// applyInvalidate discards the local copy named by an invalidation. The
+// copy is kept when it is newer than the write that issued the
+// invalidation (possible only when the network delays messages across
+// writes); legacy invalidations with Seq 0 always apply. Invalidation is a
+// catalog operation, no object I/O.
+func (n *node) applyInvalidate(m netsim.Message) {
+	if m.Seq > n.maxSeen {
+		n.maxSeen = m.Seq
+	}
+	if v, ok := n.store.Peek(); !ok || m.Seq == 0 || v.Seq <= m.Seq {
 		_ = n.store.Invalidate()
+	}
+	if n.c.lossy {
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TInvalAck, Seq: m.Seq})
+	}
+}
+
+// handleNack reacts to the failure detector's bounce of a message this
+// node sent to a crashed (or partitioned-away) processor.
+func (n *node) handleNack(m netsim.Message) {
+	switch m.Orig {
+	case netsim.TReadReq:
+		// The serving replica is down: fail the read immediately rather
+		// than burning the retry budget.
+		if reply, ok := n.pending[m.Seq]; ok {
+			delete(n.pending, m.Seq)
+			reply <- readResult{err: netsim.Unreachable{Peer: m.From}}
+		}
+	case netsim.TWritePush, netsim.TInvalidate:
+		// The destination is down; stop retrying. The paper's failure
+		// story makes this safe: a crashed processor rejoins through
+		// recovery (missing-writes catch-up in package ha), never by
+		// consuming stale traffic.
+		delete(n.outbox, outKey{to: m.From, typ: m.Orig, seq: m.Seq})
 	}
 }
 
@@ -254,17 +407,25 @@ func (n *node) handleMessage(m netsim.Message) {
 // the allocation scheme (§4.2.2); the join information rides on the read
 // request, costing no extra message.
 func (n *node) serveRead(m netsim.Message) {
+	// A duplicated or retransmitted request is re-answered (the reply may
+	// have been lost), but the repeat reply is billed as a retransmission
+	// so first-transmission accounting stays clean.
+	attempt := m.Attempt
+	if n.served[m.Seq] && attempt == 0 {
+		attempt = 1
+	}
+	n.served[m.Seq] = true
 	v, err := n.store.Get()
 	if err != nil {
 		// No valid copy (possible only under failures): reply with the
 		// zero version; the reader surfaces the error.
-		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TReadReply, Seq: m.Seq})
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TReadReply, Seq: m.Seq, Attempt: attempt})
 		return
 	}
 	if n.inF {
 		n.joinList[m.From] = true
 	}
-	n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TReadReply, Seq: m.Seq, Version: v})
+	n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TReadReply, Seq: m.Seq, Version: v, Attempt: attempt})
 }
 
 // finishRead completes a read this processor issued remotely. Under DA the
@@ -280,22 +441,44 @@ func (n *node) finishRead(m netsim.Message) {
 		reply <- readResult{err: storage.ErrNoObject}
 		return
 	}
-	if n.c.cfg.Protocol == DA {
+	if n.c.cfg.Protocol == DA && m.Version.Seq >= n.maxSeen {
+		// The saving read that joins the allocation scheme. The save is
+		// skipped for a version the node already knows to be obsolete
+		// (a delayed reply overtaken by a newer invalidation).
 		if err := n.store.Put(m.Version); err != nil {
 			reply <- readResult{err: err}
 			return
 		}
+		n.maxSeen = m.Version.Seq
 	}
 	reply <- readResult{version: m.Version}
 }
 
 // applyPush applies a propagated write. A DA member of F additionally
-// carries out its invalidation duty.
+// carries out its invalidation duty. The handler is idempotent: a
+// duplicated or retransmitted push at or below the node's high-water mark
+// is acknowledged but neither re-installed nor re-propagated, so a stale
+// delayed copy can never resurrect an invalidated version.
 func (n *node) applyPush(m netsim.Message) {
+	if m.Version.Seq <= n.maxSeen {
+		n.ackPush(m)
+		return
+	}
 	if err := n.store.Put(m.Version); err != nil {
 		return
 	}
+	n.maxSeen = m.Version.Seq
+	n.ackPush(m)
 	if n.inF {
-		n.invalidationDuty(model.ProcessorID(m.Version.Writer), n.execSet(model.ProcessorID(m.Version.Writer)))
+		n.invalidationDuty(model.ProcessorID(m.Version.Writer), m.Version.Seq, n.execSet(model.ProcessorID(m.Version.Writer)))
+	}
+}
+
+// ackPush acknowledges a write push when the retransmission discipline is
+// engaged; on a reliable network pushes are unacknowledged, keeping the
+// executed message count identical to the paper's cost model.
+func (n *node) ackPush(m netsim.Message) {
+	if n.c.lossy {
+		n.c.net.Send(netsim.Message{From: n.id, To: m.From, Type: netsim.TWriteAck, Seq: m.Seq})
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
@@ -87,6 +88,16 @@ type Config struct {
 	// disables instrumentation — the hot path then pays one nil-check per
 	// request.
 	Obs *obs.Obs
+	// Faults, when non-nil and active, installs a deterministic
+	// fault plan on the network (loss, duplication, delay, flaps) and —
+	// unless Retry disables it — engages the retransmission discipline:
+	// driver-correlated reads with bounded retries, acknowledged write
+	// pushes and invalidations with per-destination outboxes and capped
+	// exponential backoff, and idempotent receivers.
+	Faults *netsim.FaultPlan
+	// Retry tunes the retransmission discipline; the zero value enables
+	// it (with default caps) exactly when Faults is active.
+	Retry netsim.RetryPolicy
 }
 
 func (c Config) validate() error {
@@ -119,6 +130,12 @@ type Cluster struct {
 	net    *netsim.Network
 	nodes  []*node
 
+	// lossy is set when a fault plan is active; retries additionally
+	// requires the retransmission discipline not to be disabled.
+	lossy   bool
+	retries bool
+	corrSeq atomic.Uint64 // driver-side read correlation ids
+
 	mu      sync.Mutex
 	nextSeq uint64 // write sequencer (the concurrency-control total order)
 	track   *tracker
@@ -138,6 +155,14 @@ func New(cfg Config) (*Cluster, error) {
 		firstSeq = 1
 	}
 	c := &Cluster{cfg: cfg, net: netsim.New(cfg.N), track: newTracker(), nextSeq: firstSeq}
+	if cfg.Faults != nil && cfg.Faults.Active() {
+		if err := c.net.InstallFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
+		c.lossy = true
+		c.retries = !cfg.Retry.Disabled
+	}
+	c.net.SetObs(cfg.Obs)
 	if cfg.Protocol == DA {
 		for k := 0; k < cfg.T-1; k++ {
 			c.core = c.core.Add(cfg.Initial.Member(k))
@@ -190,20 +215,64 @@ func New(cfg Config) (*Cluster, error) {
 var errClusterClosed = errors.New("sim: cluster closed")
 
 // Read executes a read request issued by processor p and returns the
-// version it observed. Reads may be issued concurrently.
+// version it observed. Reads may be issued concurrently. On a lossy
+// network with retries enabled the driver retransmits the read request
+// under capped exponential backoff and gives up with netsim.Unreachable
+// once the retry budget is exhausted; a crashed server fails the read
+// immediately via the failure detector's bounce.
 func (c *Cluster) Read(p model.ProcessorID) (storage.Version, error) {
 	n, err := c.node(p)
 	if err != nil {
 		return storage.Version{}, err
 	}
+	corr := c.corrSeq.Add(1)
 	reply := make(chan readResult, 1)
-	c.track.add(1)
-	if !n.submit(command{kind: cmdRead, readReply: reply}) {
-		c.track.done()
+	if !c.submitTracked(n, command{kind: cmdRead, corr: corr, readReply: reply}) {
 		return storage.Version{}, errClusterClosed
 	}
-	res := <-reply
-	return res.version, res.err
+	if !c.retries {
+		res := <-reply
+		return res.version, res.err
+	}
+	maxAttempts := c.cfg.Retry.Attempts()
+	for attempt := 1; ; attempt++ {
+		c.settle()
+		select {
+		case res := <-reply:
+			return res.version, res.err
+		default:
+		}
+		kind := cmdRetryRead
+		if attempt > maxAttempts {
+			// Budget exhausted: have the node resolve the pending read
+			// with an Unreachable error (unless a reply or nack races in
+			// first, which wins).
+			kind = cmdFailRead
+		}
+		if !c.submitTracked(n, command{kind: kind, corr: corr, attempt: attempt}) {
+			return storage.Version{}, errClusterClosed
+		}
+		if kind == cmdFailRead {
+			res := <-reply
+			return res.version, res.err
+		}
+		// Capped exponential backoff in quiescence rounds: later retries
+		// wait through more settle rounds before retransmitting.
+		for b := c.cfg.Retry.Backoff(attempt); b > 1; b-- {
+			c.settle()
+		}
+	}
+}
+
+// submitTracked hands a command to a node's event loop, accounting it as
+// outstanding work until the handler finishes.
+func (c *Cluster) submitTracked(n *node, cmd command) bool {
+	c.track.add(1)
+	if !n.submit(cmd) {
+		c.track.done()
+		return false
+	}
+	return true
 }
 
 // Write executes a write request issued by processor p, assigning it the
@@ -221,17 +290,66 @@ func (c *Cluster) Write(p model.ProcessorID, data []byte) (storage.Version, erro
 	v := storage.Version{Seq: c.nextSeq, Writer: int(p), Data: data}
 	c.mu.Unlock()
 	done := make(chan error, 1)
-	c.track.add(1)
-	if !n.submit(command{kind: cmdWrite, version: v, writeDone: done}) {
-		c.track.done()
+	if !c.submitTracked(n, command{kind: cmdWrite, version: v, writeDone: done}) {
 		return storage.Version{}, errClusterClosed
 	}
 	if err := <-done; err != nil {
 		return storage.Version{}, err
 	}
-	c.track.wait()
+	if c.retries {
+		if err := c.flushOutboxes(); err != nil {
+			return storage.Version{}, err
+		}
+	}
+	c.settle()
 	return v, nil
 }
+
+// flushOutboxes drives the retransmission discipline of a write cascade:
+// after each quiescence round it polls every node's outbox, retransmitting
+// entries whose backoff has elapsed, until all pushes and invalidations
+// are acknowledged. An entry that exhausts its retry budget surfaces as a
+// netsim.Unreachable error.
+func (c *Cluster) flushOutboxes() error {
+	for round := 1; ; round++ {
+		c.settle()
+		outstanding := 0
+		var gaveUp []model.ProcessorID
+		for _, n := range c.nodes {
+			reply := make(chan outboxStatus, 1)
+			if !c.submitTracked(n, command{kind: cmdOutbox, round: round, outboxReply: reply}) {
+				return errClusterClosed
+			}
+			st := <-reply
+			outstanding += st.outstanding
+			gaveUp = append(gaveUp, st.gaveUp...)
+		}
+		if len(gaveUp) > 0 {
+			c.cfg.Obs.Counter("sim.outbox.giveup").Add(int64(len(gaveUp)))
+			return fmt.Errorf("sim: write propagation gave up: %w", netsim.Unreachable{Peer: gaveUp[0]})
+		}
+		if outstanding == 0 {
+			return nil
+		}
+	}
+}
+
+// settle waits for full quiescence: no outstanding tracked work and no
+// held (delayed) messages anywhere in the network. Releasing held
+// messages can spawn new work, so the two alternate to a fixpoint.
+func (c *Cluster) settle() {
+	for {
+		c.track.wait()
+		if c.net.ReleaseAll() == 0 {
+			return
+		}
+	}
+}
+
+// Quiesce blocks until the cluster is fully settled — all in-flight
+// messages (including artificially delayed ones) delivered and handled.
+// The chaos runner calls it between steps.
+func (c *Cluster) Quiesce() { c.settle() }
 
 // Run executes a schedule sequentially and returns the per-request observed
 // versions for reads (writes contribute their created version). On an
@@ -343,7 +461,7 @@ func (c *Cluster) RunConcurrent(sched model.Schedule) ([]storage.Version, error)
 			}
 		}
 		// Quiesce so saving-read joins settle before the next write.
-		c.track.wait()
+		c.settle()
 		if o.Enabled() {
 			// Reads of one burst interleave freely; the aggregate deltas
 			// after quiescence are deterministic even though per-read
@@ -381,7 +499,7 @@ func (c *Cluster) ResetCounts() {
 // database holds the latest version. It quiesces first so in-flight
 // invalidations settle.
 func (c *Cluster) Scheme() model.Set {
-	c.track.wait()
+	c.settle()
 	c.mu.Lock()
 	latest := c.nextSeq
 	c.mu.Unlock()
@@ -410,6 +528,21 @@ func (c *Cluster) Loads() []NodeLoad {
 	out := make([]NodeLoad, len(c.nodes))
 	for i, n := range c.nodes {
 		out[i] = NodeLoad{ID: n.id, IO: n.store.Stats(), Net: c.net.NodeStatsOf(n.id)}
+	}
+	return out
+}
+
+// HolderSeqs returns, per processor, the sequence number of the locally
+// held copy (0 when none), after quiescing the cluster. The chaos runner's
+// invariant checker uses it for t-availability and per-processor version
+// monotonicity.
+func (c *Cluster) HolderSeqs() []uint64 {
+	c.settle()
+	out := make([]uint64, len(c.nodes))
+	for i, n := range c.nodes {
+		if v, ok := n.store.Peek(); ok {
+			out[i] = v.Seq
+		}
 	}
 	return out
 }

@@ -37,6 +37,7 @@ import (
 	"objalloc/internal/advisor"
 	"objalloc/internal/baseline"
 	"objalloc/internal/cache"
+	"objalloc/internal/chaos"
 	"objalloc/internal/competitive"
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
@@ -47,6 +48,7 @@ import (
 	"objalloc/internal/latency"
 	"objalloc/internal/model"
 	"objalloc/internal/multiobject"
+	"objalloc/internal/netsim"
 	"objalloc/internal/obs"
 	"objalloc/internal/opt"
 	"objalloc/internal/quorum"
@@ -398,6 +400,79 @@ type HACluster = ha.Cluster
 
 // NewHACluster builds and starts a highly-available cluster.
 func NewHACluster(cfg HAConfig) (*HACluster, error) { return ha.New(cfg) }
+
+// ---- Chaos layer: deterministic faults and invariant-checked runs ----
+
+// FaultPlan describes the adversarial behavior of every network link:
+// seeded per-message loss, duplication, bounded delay/reordering, and
+// link flaps. Install one through ClusterConfig.Faults (and the quorum/HA
+// equivalents); all randomness derives from the seed, so faulted runs are
+// replayable.
+type FaultPlan = netsim.FaultPlan
+
+// RetryPolicy tunes the engines' retransmission discipline (capped
+// exponential backoff, bounded attempts). The zero value enables retries
+// exactly when a FaultPlan is active.
+type RetryPolicy = netsim.RetryPolicy
+
+// Unreachable is the retransmission discipline's give-up error: the peer
+// did not acknowledge within the retry budget.
+type Unreachable = netsim.Unreachable
+
+// ReliabilityOverhead aggregates retransmissions, acknowledgements and
+// drops — the traffic billed apart from the paper's cost model.
+type ReliabilityOverhead = ha.Overhead
+
+// ChaosEngine selects the protocol stack a chaos scenario exercises.
+type ChaosEngine = chaos.Engine
+
+// Chaos engines.
+const (
+	ChaosDA     = chaos.EngineDA
+	ChaosQuorum = chaos.EngineQuorum
+	ChaosHA     = chaos.EngineHA
+)
+
+// ChaosScenario composes a seeded workload with a fault plan over one
+// engine; see ChaosContext.
+type ChaosScenario = chaos.Scenario
+
+// ChaosStep is one scenario action (read, write, crash, restart).
+type ChaosStep = chaos.Step
+
+// ChaosResult summarizes a chaos run: operation counts, cost accounting,
+// reliability overhead, and any invariant violations.
+type ChaosResult = chaos.Result
+
+// ChaosViolation is one invariant breach, pinned to the step exposing it.
+type ChaosViolation = chaos.Violation
+
+// ChaosContext runs an invariant-checked chaos scenario: after every step
+// it asserts reads return the latest committed version, replicas never
+// regress, the object stays t-available, and (for ChaosHA) DA↔quorum
+// transitions happen only on real membership changes. Cancelling the
+// context stops the run between steps.
+func ChaosContext(ctx context.Context, sc ChaosScenario, o *Obs) (ChaosResult, error) {
+	return chaos.RunContext(ctx, sc, o)
+}
+
+// ChaosSearchContext runs count seed-derived variants of the base
+// scenario concurrently (workers ≤ 0 means one per core) and returns the
+// results in variant order — byte-reproducible at any parallelism.
+func ChaosSearchContext(ctx context.Context, base ChaosScenario, count, workers int) ([]ChaosResult, error) {
+	return chaos.Search(ctx, base, count, workers)
+}
+
+// ShrinkChaos delta-debugs a failing scenario to a minimal reproducer
+// that still violates the same invariant.
+func ShrinkChaos(sc ChaosScenario) ChaosScenario { return chaos.Shrink(sc) }
+
+// ParseFaults decodes the textual fault-schedule syntax, e.g.
+// "loss=0.1,dup=0.05,delay=0.2,delaymax=4"; FormatFaults is its inverse.
+func ParseFaults(s string) (FaultPlan, error) { return chaos.ParseFaults(s) }
+
+// FormatFaults renders a plan in ParseFaults syntax.
+func FormatFaults(p FaultPlan) string { return chaos.FormatFaults(p) }
 
 // ---- Offline approximations for large systems ----
 

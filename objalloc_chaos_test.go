@@ -1,0 +1,86 @@
+package objalloc_test
+
+import (
+	"context"
+	"testing"
+
+	"objalloc"
+)
+
+// TestChaosFacade drives the chaos layer through the public surface: a
+// lossy HA scenario with churn must hold every invariant, and a faulted
+// cluster built directly through ClusterConfig must report reliability
+// traffic while still serving linearizable reads.
+func TestChaosFacade(t *testing.T) {
+	plan, err := objalloc.ParseFaults("loss=0.1,dup=0.05,delay=0.15,delaymax=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := objalloc.FormatFaults(plan); got != "loss=0.1,dup=0.05,delay=0.15,delaymax=3" {
+		t.Fatalf("FormatFaults = %q", got)
+	}
+
+	sc := objalloc.ChaosScenario{
+		Engine: objalloc.ChaosHA, N: 6, T: 3, Seed: 11, Steps: 300,
+		Faults: plan, Churn: 0.02,
+	}
+	res, err := objalloc.ChaosContext(context.Background(), sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Overhead.Retrans == 0 || res.Overhead.Dropped == 0 {
+		t.Fatalf("no reliability traffic recorded: %+v", res.Overhead)
+	}
+
+	// Direct cluster use with a fault plan.
+	c, err := objalloc.NewCluster(objalloc.ClusterConfig{
+		N: 4, T: 2, Protocol: objalloc.ProtocolDA, Initial: objalloc.FullSet(2),
+		Faults: &objalloc.FaultPlan{Seed: 1, Loss: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Write(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != v.Seq {
+		t.Fatalf("read seq %d, want %d", got.Seq, v.Seq)
+	}
+
+	// Cancellation stops a run between steps.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := objalloc.ChaosContext(ctx, sc, nil); err == nil {
+		t.Fatal("cancelled chaos run returned no error")
+	}
+}
+
+// TestChaosSearchFacade checks the parallel variant search through the
+// facade is order-stable.
+func TestChaosSearchFacade(t *testing.T) {
+	base := objalloc.ChaosScenario{
+		Engine: objalloc.ChaosQuorum, N: 5, Seed: 23, Steps: 40,
+		Faults: objalloc.FaultPlan{Loss: 0.1, Delay: 0.1},
+	}
+	results, err := objalloc.ChaosSearchContext(context.Background(), base, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Failed() {
+			t.Errorf("variant %d: %v", i, r.Violations)
+		}
+	}
+}
