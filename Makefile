@@ -1,12 +1,15 @@
 # Tier-1 verification: build, vet, test, race-test. All four must pass.
+# Tests run shuffled so inter-test ordering dependencies cannot hide.
 # obscheck additionally vets the instrumentation package on its own and
 # runs the observability determinism tests under the race detector.
-# fuzzsmoke gives each committed fuzz target a 10-second budget, and
-# staticcheck runs when the tool is installed (it is skipped gracefully
-# otherwise — the build must not depend on network access).
-.PHONY: verify build vet test race bench obscheck fuzzsmoke staticcheck chaos profile
+# fuzzsmoke gives each committed fuzz target a 10-second budget,
+# serve-smoke boots the service daemon under real load and asserts a
+# clean zero-loss drain, and staticcheck runs when the tool is installed
+# (it is skipped gracefully otherwise — the build must not depend on
+# network access).
+.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke staticcheck chaos profile
 
-verify: build vet test race obscheck fuzzsmoke staticcheck
+verify: build vet test race obscheck fuzzsmoke serve-smoke staticcheck
 
 build:
 	go build ./...
@@ -15,10 +18,10 @@ vet:
 	go vet ./...
 
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
 race:
-	go test -race ./...
+	go test -shuffle=on -race ./...
 
 bench:
 	go test -bench=. -benchmem
@@ -31,6 +34,9 @@ obscheck:
 fuzzsmoke:
 	go test -run none -fuzz FuzzConfigNormalize -fuzztime 10s ./internal/quorum
 	go test -run none -fuzz FuzzParseFaults -fuzztime 10s ./internal/chaos
+
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

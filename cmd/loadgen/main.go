@@ -1,0 +1,263 @@
+// Command loadgen replays workload streams against the sharded
+// allocation service — over HTTP against a running objallocd, or against
+// an in-process server for soak and benchmark runs — and reports
+// throughput, latency and the overload/drain outcomes.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 [-workload uniform:n=8,pwrite=0.3]
+//	        [-objects 64] [-workers 4] [-requests 10000] [-duration 0]
+//	        [-batch 32] [-seed 1]
+//	loadgen -inproc [-shards 8] [-engine da] ... (same workload flags)
+//
+// Workers own disjoint object partitions (object index mod workers), so
+// each object's requests stay on one sequential path — the service's
+// determinism contract. Overloaded batches retry after the server's
+// hint; a draining server ends the run. The exit is nonzero if any
+// accepted request was lost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/server"
+	"objalloc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type counters struct {
+	sent      atomic.Uint64
+	completed atomic.Uint64
+	overloads atomic.Uint64
+	errored   atomic.Uint64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "objallocd HTTP address (host:port)")
+		inproc   = fs.Bool("inproc", false, "drive an in-process server instead of HTTP")
+		spec     = fs.String("workload", "uniform:n=8,pwrite=0.3", "workload spec (see internal/workload)")
+		objects  = fs.Int("objects", 64, "distinct objects")
+		workers  = fs.Int("workers", 4, "concurrent workers (each owns objects index mod workers)")
+		requests = fs.Int("requests", 10000, "total requests to send (split across workers)")
+		duration = fs.Duration("duration", 0, "run for this long instead of a fixed request count")
+		batchSz  = fs.Int("batch", 32, "requests per HTTP batch")
+		seed     = fs.Int64("seed", 1, "workload seed (worker w uses seed+w)")
+
+		shards     = fs.Int("shards", 8, "in-process server: shards")
+		queue      = fs.Int("queue", 256, "in-process server: per-shard queue")
+		engineName = fs.String("engine", "da", "in-process server: engine")
+		n          = fs.Int("n", 8, "in-process server: processors")
+		t          = fs.Int("t", 3, "in-process server: availability threshold")
+		cc         = fs.Float64("cc", 0.25, "in-process server: control-message cost")
+		cd         = fs.Float64("cd", 1, "in-process server: data-message cost")
+		mobile     = fs.Bool("mobile", false, "in-process server: mobile model")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == !*inproc {
+		return fmt.Errorf("exactly one of -addr or -inproc is required")
+	}
+	if *workers < 1 || *objects < 1 {
+		return fmt.Errorf("-workers and -objects must be at least 1")
+	}
+	if *workers > *objects {
+		*workers = *objects
+	}
+
+	var do func(worker int, reqs []server.WireRequest) (int, bool, error)
+	var finish func() error
+
+	if *inproc {
+		eng, err := server.ParseEngine(*engineName)
+		if err != nil {
+			return err
+		}
+		m := cost.SC(*cc, *cd)
+		if *mobile {
+			m = cost.MC(*cc, *cd)
+		}
+		srv, err := server.New(server.Config{
+			Shards: *shards, Queue: *queue, Engine: eng, N: *n, T: *t, Model: m,
+		})
+		if err != nil {
+			return err
+		}
+		do = func(_ int, reqs []server.WireRequest) (int, bool, error) {
+			done := 0
+			for _, wr := range reqs {
+				q := model.R(model.ProcessorID(wr.Processor))
+				if wr.Op == "w" {
+					q = model.W(model.ProcessorID(wr.Processor))
+				}
+				_, err := srv.Do(wr.Object, q)
+				if err != nil {
+					if ov, ok := err.(*server.Overloaded); ok {
+						time.Sleep(ov.RetryAfter)
+						return done, false, nil
+					}
+					if err == server.ErrDraining {
+						return done, true, nil
+					}
+					// Service error (e.g. unreachable): consumed.
+				}
+				done++
+			}
+			return done, false, nil
+		}
+		finish = func() error {
+			srv.Drain()
+			st := srv.Stats()
+			if st.Accepted != st.Complete {
+				return fmt.Errorf("server lost requests: accepted %d, completed %d", st.Accepted, st.Complete)
+			}
+			log.Printf("in-process server: %d accepted, %d completed, %d objects, cost %.1f",
+				st.Accepted, st.Complete, st.Objects, st.Cost)
+			return nil
+		}
+	} else {
+		client := &server.Client{Base: "http://" + *addr}
+		do = func(_ int, reqs []server.WireRequest) (int, bool, error) {
+			resp, err := client.Batch(reqs)
+			if err != nil {
+				return 0, false, err
+			}
+			if resp.RetryAfterMS > 0 {
+				time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+			}
+			return resp.Done, resp.Draining, nil
+		}
+		finish = func() error {
+			st, err := client.Stats()
+			if err != nil {
+				return fmt.Errorf("final stats: %w", err)
+			}
+			log.Printf("server stats: %d accepted, %d completed, %d rejected",
+				st.Accepted, st.Complete, st.Rejected)
+			return nil
+		}
+	}
+
+	perWorker := (*requests + *workers - 1) / *workers
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+
+	var cnt counters
+	var latMu sync.Mutex
+	var latencies []time.Duration
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			sched, err := workload.FromSpec(rng, *spec)
+			if err != nil {
+				log.Printf("worker %d: %v", w, err)
+				cnt.errored.Add(1)
+				return
+			}
+			if len(sched) == 0 {
+				return
+			}
+			// The worker's objects: indices ≡ w (mod workers).
+			var names []string
+			for o := w; o < *objects; o += *workers {
+				names = append(names, fmt.Sprintf("obj-%d", o))
+			}
+			sent := 0
+			si := 0
+			for {
+				if deadline.IsZero() {
+					if sent >= perWorker {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				size := *batchSz
+				if deadline.IsZero() && perWorker-sent < size {
+					size = perWorker - sent
+				}
+				batch := make([]server.WireRequest, 0, size)
+				for len(batch) < size {
+					q := sched[si%len(sched)]
+					op := "r"
+					if q.IsWrite() {
+						op = "w"
+					}
+					batch = append(batch, server.WireRequest{
+						Object:    names[si%len(names)],
+						Op:        op,
+						Processor: int(q.Processor),
+					})
+					si++
+				}
+				for len(batch) > 0 {
+					t0 := time.Now()
+					done, draining, err := do(w, batch)
+					if err != nil {
+						log.Printf("worker %d: %v", w, err)
+						cnt.errored.Add(1)
+						return
+					}
+					latMu.Lock()
+					latencies = append(latencies, time.Since(t0))
+					latMu.Unlock()
+					cnt.sent.Add(uint64(len(batch)))
+					cnt.completed.Add(uint64(done))
+					sent += done
+					if done < len(batch) {
+						cnt.overloads.Add(1)
+						if draining {
+							return
+						}
+					}
+					batch = batch[done:]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	completed := cnt.completed.Load()
+	fmt.Printf("loadgen: %d requests completed in %s (%.0f req/s), %d overload backoffs\n",
+		completed, elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds(), cnt.overloads.Load())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Printf("batch latency: p50 %s  p99 %s  max %s\n",
+			latencies[len(latencies)/2].Round(time.Microsecond),
+			latencies[len(latencies)*99/100].Round(time.Microsecond),
+			latencies[len(latencies)-1].Round(time.Microsecond))
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	if cnt.errored.Load() > 0 {
+		return fmt.Errorf("%d workers errored", cnt.errored.Load())
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Command objallocd is the sharded allocation service daemon: the
+// multi-object directory partitioned over independent shards, each
+// running its own allocation engine (SA, DA or executed HA clusters)
+// behind a batched mailbox with admission control, served over HTTP.
+//
+// Usage:
+//
+//	objallocd [-shards 8] [-queue 256] [-batch 64] [-engine da]
+//	          [-n 8] [-t 3] [-cc 0.25] [-cd 1] [-mobile]
+//	          [-coalesce auto] [-faults loss=0.1,delay=0.2] [-noretry]
+//	          [-attempts 0] [-seed 0] [-journal dir]
+//	          [-addr 127.0.0.1:0] [-addrfile path] [-statsfile path]
+//	          [-draintimeout 30s] [-metrics out.jsonl] [-pprof addr]
+//
+// The HTTP API is POST /v1/batch, GET /v1/stats and GET /v1/healthz.
+// On SIGTERM or SIGINT the daemon drains gracefully: accepted requests
+// complete, new ones are refused, journals are flushed and fsynced, the
+// final stats are printed to stdout, and the process exits nonzero if
+// any accepted request was lost (it never should be).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"objalloc/internal/chaos"
+	"objalloc/internal/cost"
+	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
+	"objalloc/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("objallocd: ")
+	if err := run(os.Args[1:], nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the daemon body; tests invoke it directly, receiving the bound
+// address on ready and stopping it with a signal.
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("objallocd", flag.ContinueOnError)
+	var (
+		shards       = fs.Int("shards", 8, "independent shards (objects are hashed across them)")
+		queue        = fs.Int("queue", 256, "per-shard mailbox capacity (admission control bound)")
+		batch        = fs.Int("batch", 64, "max requests per shard service round")
+		engineName   = fs.String("engine", "da", "per-shard engine: da, sa, ha")
+		n            = fs.Int("n", 8, "processors")
+		t            = fs.Int("t", 3, "availability threshold")
+		cc           = fs.Float64("cc", 0.25, "control-message cost")
+		cd           = fs.Float64("cd", 1, "data-message cost")
+		mobile       = fs.Bool("mobile", false, "mobile-computers model (I/O cost 0) instead of stationary")
+		coalesceName = fs.String("coalesce", "auto", "read coalescing: auto, on, off")
+		faults       = fs.String("faults", "", "fault schedule (key=value, comma-separated; empty disables)")
+		noretry      = fs.Bool("noretry", false, "disable the retransmission discipline")
+		attempts     = fs.Int("attempts", 0, "retransmission cap per message (0 = default)")
+		seed         = fs.Int64("seed", 0, "fault-stream seed perturbation")
+		maxHAObjects = fs.Int("maxhaobjects", 64, "per-shard object cap under -engine ha")
+		journal      = fs.String("journal", "", "directory for per-shard request journals (fsynced on drain)")
+		addr         = fs.String("addr", "127.0.0.1:0", "HTTP listen address")
+		addrfile     = fs.String("addrfile", "", "write the bound address to this file once listening")
+		statsfile    = fs.String("statsfile", "", "write the final stats JSON to this file on drain")
+		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max time to wait for the graceful drain")
+		metrics      = fs.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng, err := server.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	var mode server.CoalesceMode
+	switch *coalesceName {
+	case "auto":
+		mode = server.CoalesceAuto
+	case "on":
+		mode = server.CoalesceOn
+	case "off":
+		mode = server.CoalesceOff
+	default:
+		return fmt.Errorf("unknown -coalesce %q (want auto, on or off)", *coalesceName)
+	}
+	m := cost.SC(*cc, *cd)
+	if *mobile {
+		m = cost.MC(*cc, *cd)
+	}
+	plan, err := chaos.ParseFaults(*faults)
+	if err != nil {
+		return err
+	}
+	var planPtr *netsim.FaultPlan
+	if plan.Active() {
+		planPtr = &plan
+	}
+
+	cli, err := obs.StartCLI(obs.CLIOptions{Metrics: *metrics, PprofAddr: *pprofAddr, Label: "objallocd"})
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	srv, err := server.New(server.Config{
+		Shards: *shards, Queue: *queue, Batch: *batch,
+		Engine: eng, N: *n, T: *t, Model: m,
+		Coalesce: mode, Seed: *seed,
+		Faults:   planPtr,
+		Retry:    netsim.RetryPolicy{Disabled: *noretry, MaxAttempts: *attempts},
+		Journal:  *journal, MaxHAObjects: *maxHAObjects,
+		Obs: cli.Obs(),
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	log.Printf("listening on %s (%d shards, engine %s, queue %d, batch %d)", bound, *shards, eng, *queue, *batch)
+	if ready != nil {
+		ready <- bound
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case s := <-sig:
+		log.Printf("received %s, draining", s)
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+	signal.Stop(sig)
+
+	done := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(*drainTimeout):
+		return fmt.Errorf("drain did not complete within %s", *drainTimeout)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(shutdownCtx)
+
+	st := srv.Stats()
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if *statsfile != "" {
+		if err := os.WriteFile(*statsfile, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if st.Accepted != st.Complete {
+		return fmt.Errorf("drain lost requests: accepted %d, completed %d", st.Accepted, st.Complete)
+	}
+	log.Printf("drained cleanly: %d accepted, %d completed, %d objects", st.Accepted, st.Complete, st.Objects)
+	return nil
+}

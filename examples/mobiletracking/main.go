@@ -66,7 +66,7 @@ func main() {
 	// Execute the protocol for real, with the base station failing
 	// mid-flight — the §2 failure handling.
 	fmt.Println("\nexecuting DA with base-station failure and recovery:")
-	h, err := objalloc.NewHACluster(objalloc.HAConfig{N: n, T: t, Initial: initial})
+	h, err := objalloc.NewHACluster(n, objalloc.WithAvailability(t), objalloc.WithInitial(initial))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -82,9 +82,11 @@ func main() {
 
 	// 4. Execute the same schedule on the real distributed system: one
 	// goroutine per processor, billed messages, local databases.
-	cluster, err := objalloc.NewCluster(objalloc.ClusterConfig{
-		N: 5, T: t, Protocol: objalloc.ProtocolDA, Initial: initial,
-	})
+	cluster, err := objalloc.NewCluster(5,
+		objalloc.WithProtocol(objalloc.ProtocolDA),
+		objalloc.WithAvailability(t),
+		objalloc.WithInitial(initial),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,12 +60,14 @@ func main() {
 		{"DA: 1 permanent + temporary standing orders", objalloc.ProtocolDA},
 	} {
 		sub := filepath.Join(dir, policy.protocol.String())
-		cluster, err := objalloc.NewCluster(objalloc.ClusterConfig{
-			N: stations, T: t, Protocol: policy.protocol, Initial: objalloc.NewSet(0, 1),
-			NewStore: func(id objalloc.ProcessorID) (objalloc.Store, error) {
+		cluster, err := objalloc.NewCluster(stations,
+			objalloc.WithProtocol(policy.protocol),
+			objalloc.WithAvailability(t),
+			objalloc.WithInitial(objalloc.NewSet(0, 1)),
+			objalloc.WithStores(func(id objalloc.ProcessorID) (objalloc.Store, error) {
 				return objalloc.OpenDiskStore(filepath.Join(sub, fmt.Sprintf("station-%d.log", id)), objalloc.DiskOptions{})
-			},
-		})
+			}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

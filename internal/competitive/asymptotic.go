@@ -61,16 +61,28 @@ type FitSpec struct {
 	Obs *obs.Obs
 }
 
+// Normalize validates the spec. It is the single place FitSpec validation
+// happens; FitAsymptotic calls it first.
+func (spec *FitSpec) Normalize() error {
+	if spec.Factory == nil || spec.Family == nil {
+		return fmt.Errorf("competitive: fit needs a Factory and a Family")
+	}
+	if len(spec.Ks) < 2 {
+		return fmt.Errorf("competitive: need at least two family sizes")
+	}
+	return nil
+}
+
 // FitAsymptotic measures the algorithm and the optimum on each family
 // member and fits the line. Family members are measured concurrently on
 // the engine's worker pool (one task per k, in Ks order); the
 // least-squares fit over the ordered results is identical to a serial
 // run. Cancelling the context aborts outstanding measurements.
 func FitAsymptotic(ctx context.Context, spec FitSpec) (AsymptoticFit, error) {
-	m, f, t := spec.Model, spec.Factory, spec.T
-	if len(spec.Ks) < 2 {
-		return AsymptoticFit{}, fmt.Errorf("competitive: need at least two family sizes")
+	if err := spec.Normalize(); err != nil {
+		return AsymptoticFit{}, err
 	}
+	m, f, t := spec.Model, spec.Factory, spec.T
 	measurements, err := engine.CollectObserved(ctx, len(spec.Ks), spec.Parallelism, spec.Obs.Hook(), func(taskCtx context.Context, i int) (Measurement, error) {
 		return RatioContext(taskCtx, m, f, spec.Family(spec.Ks[i]), spec.Initial, t)
 	})

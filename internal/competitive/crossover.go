@@ -42,6 +42,19 @@ type CrossoverSpec struct {
 	Obs *obs.Obs
 }
 
+// Normalize validates the spec and resolves its defaults in place: Iters
+// below 1 becomes 10. It is the single place CrossoverSpec validation
+// happens; Crossover calls it first.
+func (spec *CrossoverSpec) Normalize() error {
+	if spec.CDMax <= spec.CC {
+		return fmt.Errorf("competitive: cdMax (%g) must exceed cc (%g)", spec.CDMax, spec.CC)
+	}
+	if spec.Iters < 1 {
+		spec.Iters = 10
+	}
+	return nil
+}
+
 // Crossover bisects the measured SA/DA crossover on the cd axis for a
 // fixed cc, within (cc, cdMax], using bisection over the battery's
 // worst-case ratios. The paper's bounds only bracket this point inside
@@ -52,13 +65,10 @@ type CrossoverSpec struct {
 // engine's worker pool. Cancelling the context aborts the probe in
 // flight and returns ctx.Err().
 func Crossover(ctx context.Context, spec CrossoverSpec) (CrossoverResult, error) {
+	if err := spec.Normalize(); err != nil {
+		return CrossoverResult{}, err
+	}
 	cc, cdMax, iters := spec.CC, spec.CDMax, spec.Iters
-	if cdMax <= cc {
-		return CrossoverResult{}, fmt.Errorf("competitive: cdMax (%g) must exceed cc (%g)", cdMax, cc)
-	}
-	if iters < 1 {
-		iters = 10
-	}
 	scheds := spec.Battery.Build()
 	initial := spec.Battery.Initial()
 	factories := []dom.Factory{dom.StaticFactory, dom.DynamicFactory}

@@ -136,6 +136,22 @@ type SweepSpec struct {
 	Obs *obs.Obs
 }
 
+// Normalize validates the spec and resolves its defaults in place: a
+// nonzero Seed overrides Battery.Seed. It is the single place SweepSpec
+// validation happens; Sweep calls it first.
+func (spec *SweepSpec) Normalize() error {
+	if spec.Seed != 0 {
+		spec.Battery.Seed = spec.Seed
+	}
+	if spec.Battery.N < 1 || spec.Battery.T < 1 {
+		return fmt.Errorf("competitive: sweep battery needs N >= 1 and T >= 1, got N=%d T=%d", spec.Battery.N, spec.Battery.T)
+	}
+	if spec.Battery.T > spec.Battery.N {
+		return fmt.Errorf("competitive: sweep battery T (%d) exceeds N (%d)", spec.Battery.T, spec.Battery.N)
+	}
+	return nil
+}
+
 // Sweep measures SA and DA over the battery at every point of a (cd, cc)
 // grid and classifies each point both analytically and empirically.
 // Points with cc > cd are marked cannot-be-true and skipped.
@@ -145,10 +161,10 @@ type SweepSpec struct {
 // byte-identical to a serial run. Cancelling the context aborts the
 // remaining cells and returns ctx.Err().
 func Sweep(ctx context.Context, spec SweepSpec) ([]GridPoint, error) {
-	battery := spec.Battery
-	if spec.Seed != 0 {
-		battery.Seed = spec.Seed
+	if err := spec.Normalize(); err != nil {
+		return nil, err
 	}
+	battery := spec.Battery
 	// The battery is built once and shared read-only by all cells.
 	scheds := battery.Build()
 	initial := battery.Initial()

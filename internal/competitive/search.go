@@ -54,6 +54,29 @@ type SearchConfig struct {
 	Obs *obs.Obs
 }
 
+// Normalize validates the config and resolves its defaults in place:
+// Restarts below 1 becomes 1, and zero annealing parameters take their
+// defaults (InitialTemp 0.05, Cooling 0.995). It is the single place
+// SearchConfig validation happens; Search calls it first.
+func (cfg *SearchConfig) Normalize() error {
+	if cfg.N < 1 || cfg.Length < 1 {
+		return fmt.Errorf("competitive: search needs N >= 1 and Length >= 1, got N=%d Length=%d", cfg.N, cfg.Length)
+	}
+	if cfg.T < 1 {
+		return fmt.Errorf("competitive: search needs T >= 1, got %d", cfg.T)
+	}
+	if cfg.Restarts < 1 {
+		cfg.Restarts = 1
+	}
+	if cfg.InitialTemp == 0 {
+		cfg.InitialTemp = 0.05
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.995
+	}
+	return nil
+}
+
 // SearchResult is the best adversarial schedule found.
 type SearchResult struct {
 	Worst
@@ -69,17 +92,8 @@ type SearchResult struct {
 // outcome independent of both scheduling and Parallelism. Cancelling the
 // context aborts outstanding restarts and returns ctx.Err().
 func Search(ctx context.Context, cfg SearchConfig) (SearchResult, error) {
-	if cfg.N < 1 || cfg.Length < 1 {
-		return SearchResult{}, fmt.Errorf("competitive: search needs N >= 1 and Length >= 1")
-	}
-	if cfg.Restarts < 1 {
-		cfg.Restarts = 1
-	}
-	if cfg.InitialTemp == 0 {
-		cfg.InitialTemp = 0.05
-	}
-	if cfg.Cooling == 0 {
-		cfg.Cooling = 0.995
+	if err := cfg.Normalize(); err != nil {
+		return SearchResult{}, err
 	}
 
 	climbs, err := engine.CollectObserved(ctx, cfg.Restarts, cfg.Parallelism, cfg.Obs.Hook(), func(ctx context.Context, r int) (SearchResult, error) {

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/ha"
+	"objalloc/internal/model"
+	"objalloc/internal/multiobject"
+	"objalloc/internal/netsim"
+)
+
+// Engine selects the per-shard object-management engine.
+type Engine int
+
+const (
+	// EngineDA manages every object with the paper's dynamic allocation
+	// algorithm over the analytic multi-object directory.
+	EngineDA Engine = iota
+	// EngineSA manages every object with read-one-write-all static
+	// allocation over the analytic multi-object directory.
+	EngineSA
+	// EngineHA executes every object on its own highly-available cluster
+	// (DA with quorum failover) — real message passing, real local
+	// databases, real fault injection on the network. Heavier than the
+	// directory engines; the per-shard object count is capped
+	// (Config.MaxHAObjects).
+	EngineHA
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineDA:
+		return "da"
+	case EngineSA:
+		return "sa"
+	case EngineHA:
+		return "ha"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an engine name: "da", "sa" or "ha".
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "da", "":
+		return EngineDA, nil
+	case "sa":
+		return EngineSA, nil
+	case "ha":
+		return EngineHA, nil
+	default:
+		return 0, fmt.Errorf("server: unknown engine %q (want da, sa or ha)", s)
+	}
+}
+
+// backend is one shard's object store: it services requests object by
+// object and accounts their cost. Backends are confined to their shard's
+// goroutine, so implementations need no locking of their own.
+type backend interface {
+	// apply services one request against the named object and returns its
+	// priced cost. An error reply (e.g. netsim.Unreachable from the HA
+	// engine's retry budget) still consumes the request deterministically.
+	apply(object string, q model.Request) (float64, error)
+	// objects returns the number of distinct objects touched.
+	objects() int
+	// counts returns the accumulated cost accounting.
+	counts() cost.Counts
+	// stats returns per-object lifetime stats, sorted by name.
+	stats() []multiobject.Stats
+	// close releases the backend's resources.
+	close() error
+}
+
+// directoryBackend is the analytic engine: a multiobject directory applying
+// the DOM algorithm's execution-set bookkeeping and pricing each request
+// under the cost model. It is the fast path — no goroutines, no messages.
+type directoryBackend struct {
+	db *multiobject.DB
+}
+
+func newDirectoryBackend(cfg *Config) (backend, error) {
+	db, err := multiobject.Open(multiobject.Config{
+		Factory:   cfg.Factory,
+		T:         cfg.T,
+		Placement: cfg.Placement,
+		Model:     cfg.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &directoryBackend{db: db}, nil
+}
+
+func (b *directoryBackend) apply(object string, q model.Request) (float64, error) {
+	return b.db.Apply(object, q)
+}
+
+func (b *directoryBackend) objects() int               { return b.db.Objects() }
+func (b *directoryBackend) counts() cost.Counts        { return b.db.TotalCounts() }
+func (b *directoryBackend) stats() []multiobject.Stats { return b.db.AllStats() }
+func (b *directoryBackend) close() error               { return nil }
+
+// haBackend is the executed engine: each object lazily opens its own
+// highly-available cluster (DA in normal mode, quorum failover on member
+// crashes) and requests flow through real message passing over a billed
+// network. The shard's fault plan, if any, is installed on every object's
+// network, so chaos is injected per shard end to end. Clusters are
+// expensive (N goroutines each), so the per-shard object count is capped.
+type haBackend struct {
+	cfg      *Config
+	faults   *netsim.FaultPlan // per-shard plan; nil means none
+	clusters map[string]*haObject
+	maxObj   int
+}
+
+type haObject struct {
+	cl       *ha.Cluster
+	prev     cost.Counts // accounting floor for per-request deltas
+	requests int
+	counts   cost.Counts
+	writes   uint64
+}
+
+func newHABackend(cfg *Config, faults *netsim.FaultPlan) backend {
+	return &haBackend{cfg: cfg, faults: faults, clusters: make(map[string]*haObject), maxObj: cfg.MaxHAObjects}
+}
+
+func (b *haBackend) object(name string) (*haObject, error) {
+	o, ok := b.clusters[name]
+	if ok {
+		return o, nil
+	}
+	if len(b.clusters) >= b.maxObj {
+		return nil, fmt.Errorf("server: ha engine capped at %d objects per shard (raise Config.MaxHAObjects)", b.maxObj)
+	}
+	cl, err := ha.New(ha.Config{
+		N: b.cfg.N, T: b.cfg.T, Initial: b.cfg.Placement(name),
+		Faults: b.faults, Retry: b.cfg.Retry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: ha cluster for %q: %w", name, err)
+	}
+	o = &haObject{cl: cl, prev: cl.Counts()}
+	b.clusters[name] = o
+	return o, nil
+}
+
+func (b *haBackend) apply(object string, q model.Request) (float64, error) {
+	o, err := b.object(object)
+	if err != nil {
+		return 0, err
+	}
+	var opErr error
+	if q.IsRead() {
+		_, opErr = o.cl.Read(q.Processor)
+	} else {
+		o.writes++
+		_, opErr = o.cl.Write(q.Processor, []byte(fmt.Sprintf("%s#%d", object, o.writes)))
+	}
+	now := o.cl.Counts()
+	delta := cost.Counts{
+		Control: now.Control - o.prev.Control,
+		Data:    now.Data - o.prev.Data,
+		IO:      now.IO - o.prev.IO,
+	}
+	o.prev = now
+	o.requests++
+	o.counts = o.counts.Add(delta)
+	return delta.Price(b.cfg.Model), opErr
+}
+
+func (b *haBackend) objects() int { return len(b.clusters) }
+
+func (b *haBackend) counts() cost.Counts {
+	var total cost.Counts
+	for _, o := range b.clusters {
+		total = total.Add(o.counts)
+	}
+	return total
+}
+
+// scheme returns the processors holding the latest committed version of
+// one executed object — the executed analogue of the directory's
+// allocation scheme.
+func (o *haObject) scheme() model.Set {
+	latest := o.cl.LatestSeq()
+	var s model.Set
+	for i, seq := range o.cl.HolderSeqs() {
+		if seq == latest {
+			s = s.Add(model.ProcessorID(i))
+		}
+	}
+	return s
+}
+
+func (b *haBackend) stats() []multiobject.Stats {
+	out := make([]multiobject.Stats, 0, len(b.clusters))
+	for name, o := range b.clusters {
+		out = append(out, multiobject.Stats{
+			Name:     name,
+			Requests: o.requests,
+			Counts:   o.counts,
+			Cost:     o.counts.Price(b.cfg.Model),
+			Scheme:   o.scheme(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (b *haBackend) close() error {
+	for _, o := range b.clusters {
+		o.cl.Close()
+	}
+	return nil
+}
+
+// factoryFor resolves the directory engine's DOM factory.
+func factoryFor(e Engine) dom.Factory {
+	if e == EngineSA {
+		return dom.StaticFactory
+	}
+	return dom.DynamicFactory
+}

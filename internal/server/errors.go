@@ -1,0 +1,49 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDraining is returned by Do once the server has begun its graceful
+// drain: already-accepted requests complete, new ones are refused.
+var ErrDraining = errors.New("server: draining")
+
+// Overloaded is the admission-control rejection: the target shard's
+// mailbox is full. The request was NOT accepted; the caller may retry
+// after RetryAfter.
+type Overloaded struct {
+	// Shard is the shard that refused the request.
+	Shard int
+	// QueueLen and QueueCap describe the mailbox at rejection time.
+	QueueLen, QueueCap int
+	// RetryAfter is the suggested backoff: capped exponential in the
+	// shard's consecutive-rejection streak, so a persistently full shard
+	// pushes callers further away while a transient spike costs ~1ms.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (o *Overloaded) Error() string {
+	return fmt.Sprintf("server: shard %d overloaded (%d/%d queued), retry after %s",
+		o.Shard, o.QueueLen, o.QueueCap, o.RetryAfter)
+}
+
+// overloadBase is the first-rejection retry hint; the hint doubles with
+// each consecutive rejection up to overloadCapShift doublings (64ms).
+const (
+	overloadBase     = time.Millisecond
+	overloadCapShift = 6
+)
+
+func retryAfter(streak uint32) time.Duration {
+	shift := streak
+	if shift > 0 {
+		shift--
+	}
+	if shift > overloadCapShift {
+		shift = overloadCapShift
+	}
+	return overloadBase << shift
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"objalloc/internal/model"
+)
+
+// WireRequest is one request on the wire.
+type WireRequest struct {
+	Object    string `json:"object"`
+	Op        string `json:"op"` // "r" or "w"
+	Processor int    `json:"processor"`
+}
+
+// WireResult is one serviced request's outcome on the wire.
+type WireResult struct {
+	Object      string  `json:"object"`
+	Op          string  `json:"op"`
+	Processor   int     `json:"processor"`
+	Cost        float64 `json:"cost"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	Retransmits int     `json:"retransmits,omitempty"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []WireRequest `json:"requests"`
+}
+
+// BatchResponse is the reply: the first Done requests were accepted and
+// serviced in order; the rest were refused (overload or drain) and
+// should be resubmitted — resubmitting the tail preserves each object's
+// request order, which is what the determinism contract needs.
+type BatchResponse struct {
+	Done         int          `json:"done"`
+	Results      []WireResult `json:"results"`
+	RetryAfterMS int64        `json:"retry_after_ms,omitempty"`
+	Draining     bool         `json:"draining,omitempty"`
+}
+
+func parseOp(s string) (model.Request, bool) {
+	switch s {
+	case "r", "read":
+		return model.R(0), true
+	case "w", "write":
+		return model.W(0), true
+	default:
+		return model.Request{}, false
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/batch   — service a batch of requests in order
+//	GET  /v1/stats   — operational snapshot (Stats + ops metrics)
+//	GET  /v1/healthz — 200 while accepting, 503 while draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp := BatchResponse{Results: make([]WireResult, 0, len(body.Requests))}
+	for _, wr := range body.Requests {
+		q, ok := parseOp(wr.Op)
+		if !ok {
+			http.Error(w, fmt.Sprintf("bad op %q (want r or w)", wr.Op), http.StatusBadRequest)
+			return
+		}
+		q.Processor = model.ProcessorID(wr.Processor)
+		res, err := s.Do(wr.Object, q)
+		if err != nil {
+			if ov, isOverload := err.(*Overloaded); isOverload {
+				resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
+				break
+			}
+			if err == ErrDraining {
+				resp.Draining = true
+				break
+			}
+			// A service error: the request was accepted and consumed.
+			res.Err = err
+		}
+		errStr := ""
+		if res.Err != nil {
+			errStr = res.Err.Error()
+		}
+		resp.Results = append(resp.Results, WireResult{
+			Object: wr.Object, Op: wr.Op, Processor: wr.Processor,
+			Cost: res.Cost, Coalesced: res.Coalesced, Retransmits: res.Retransmits,
+			Err: errStr,
+		})
+		resp.Done++
+	}
+	status := http.StatusOK
+	if resp.Done == 0 && len(body.Requests) > 0 {
+		if resp.Draining {
+			status = http.StatusServiceUnavailable
+		} else {
+			status = http.StatusTooManyRequests
+		}
+	}
+	if resp.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(resp.RetryAfterMS, 10))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Stats Stats `json:"stats"`
+		Ops   any   `json:"ops"`
+	}{s.Stats(), s.Ops()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Client is a minimal client for the HTTP API, used by the load
+// generator and tests.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Batch posts one batch and decodes the reply. An HTTP 429/503 with a
+// decodable body is returned as a normal BatchResponse (Done 0), not an
+// error — the caller inspects RetryAfterMS/Draining.
+func (c *Client) Batch(reqs []WireRequest) (BatchResponse, error) {
+	body, err := json.Marshal(BatchRequest{Requests: reqs})
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	httpResp, err := c.httpClient().Post(c.Base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	defer httpResp.Body.Close()
+	var resp BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return BatchResponse{}, fmt.Errorf("server: batch reply (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	return resp, nil
+}
+
+// Stats fetches the operational snapshot.
+func (c *Client) Stats() (Stats, error) {
+	httpResp, err := c.httpClient().Get(c.Base + "/v1/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer httpResp.Body.Close()
+	var wrapper struct {
+		Stats Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&wrapper); err != nil {
+		return Stats{}, err
+	}
+	return wrapper.Stats, nil
+}

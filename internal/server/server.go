@@ -1,0 +1,525 @@
+// Package server is the long-running sharded allocation service: a
+// multi-object distributed-database directory partitioned over N
+// independent shards, each running its own allocation engine (SA, DA or
+// the executed HA clusters) behind a batched request pipeline with
+// admission control and a graceful drain.
+//
+// Objects are hashed to shards, so each object's requests are serviced by
+// exactly one shard goroutine in arrival order — which is what keeps the
+// accounting deterministic: per-object cost, per-object fault streams and
+// per-object coalescing state never depend on the shard count or on how
+// requests from *different* objects interleave. The deterministic
+// accounting (per-object stats, totals, the Config.Obs events and
+// counters) is therefore byte-identical for any Shards/parallelism
+// setting under a fixed seed, while the scheduling-dependent operational
+// metrics (queue depths, batch sizes, service rounds) live in a separate
+// internal registry exposed via Stats and the HTTP /v1/stats endpoint.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+	"objalloc/internal/multiobject"
+	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
+)
+
+// CoalesceMode controls read coalescing: a repeat read by a processor
+// that has already read the object since its last write is served from
+// the shard's freshness table at cost zero.
+type CoalesceMode int
+
+const (
+	// CoalesceAuto enables coalescing exactly when it is provably free:
+	// the mobile-computers model (CIO = 0) under the dynamic-allocation
+	// engine, where the first read installed a local copy and a repeat
+	// local read costs nothing. Any Factory override disables it.
+	CoalesceAuto CoalesceMode = iota
+	// CoalesceOn forces coalescing on (directory engines only).
+	CoalesceOn
+	// CoalesceOff disables coalescing.
+	CoalesceOff
+)
+
+// Config describes the service. The zero value of most fields resolves
+// to a sensible default in Normalize.
+type Config struct {
+	// Shards is the number of independent shards; fewer than 1 means 1.
+	Shards int
+	// Queue is each shard's mailbox capacity; fewer than 1 means 256.
+	// A full mailbox rejects with Overloaded (admission control).
+	Queue int
+	// Batch caps the number of requests coalesced into one service
+	// round; fewer than 1 means 64.
+	Batch int
+	// Engine selects the per-shard engine: EngineDA (default), EngineSA
+	// or EngineHA.
+	Engine Engine
+	// N is the number of processors; fewer than 1 means 4.
+	N int
+	// T is the availability threshold; fewer than 1 means 2.
+	T int
+	// Model prices the accounting; the zero model means cost.SC(0.25, 1).
+	Model cost.Model
+	// Factory overrides the directory engine's DOM factory (directory
+	// engines only); nil derives it from Engine.
+	Factory dom.Factory
+	// Placement maps a new object to its initial allocation scheme; nil
+	// places every object at {0..T-1}.
+	Placement func(name string) model.Set
+	// Coalesce selects the read-coalescing mode.
+	Coalesce CoalesceMode
+	// Seed perturbs every per-object fault stream; fixed seed + fixed
+	// per-object request order = identical fault outcomes at any Shards.
+	Seed int64
+	// Faults, when non-nil, injects deterministic message faults into
+	// every shard: the directory engines draw loss/duplication/delay
+	// from per-object streams, the HA engine installs the plan on each
+	// object's real network.
+	Faults *netsim.FaultPlan
+	// ShardFaults, when non-nil, overrides Faults per shard (chaos
+	// experiments that stress one shard). Per-shard plans make the
+	// fault outcomes depend on the object→shard mapping, so the
+	// any-shard-count determinism guarantee only holds with a single
+	// uniform plan.
+	ShardFaults func(shard int) *netsim.FaultPlan
+	// Retry is the retransmission discipline applied to lost messages.
+	Retry netsim.RetryPolicy
+	// MaxHAObjects caps the per-shard object count under EngineHA
+	// (each object runs a real cluster of N goroutines); fewer than 1
+	// means 64.
+	MaxHAObjects int
+	// Journal, when non-empty, is a directory receiving one JSONL
+	// journal per shard; journals are flushed and fsynced on drain.
+	Journal string
+	// Obs receives the deterministic accounting at drain time: sorted
+	// per-object events plus total counters and cost histograms. Nil
+	// disables it.
+	Obs *obs.Obs
+
+	coalesce bool // resolved by Normalize
+
+	// testBeforeRound, when non-nil, runs at the top of every service
+	// round; tests use it to stall a shard and force overload.
+	testBeforeRound func(shard int)
+}
+
+// Normalize validates the config and resolves its defaults in place. New
+// calls it first; callers validating flags may call it themselves.
+func (cfg *Config) Normalize() error {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Queue < 1 {
+		cfg.Queue = 256
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 64
+	}
+	if cfg.N < 1 {
+		cfg.N = 4
+	}
+	if cfg.T < 1 {
+		cfg.T = 2
+	}
+	if cfg.T > cfg.N {
+		return fmt.Errorf("server: T = %d exceeds N = %d", cfg.T, cfg.N)
+	}
+	if cfg.N > 64 {
+		return fmt.Errorf("server: N = %d exceeds the 64-processor set limit", cfg.N)
+	}
+	if (cfg.Model == cost.Model{}) {
+		cfg.Model = cost.SC(0.25, 1)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return err
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.MaxHAObjects < 1 {
+		cfg.MaxHAObjects = 64
+	}
+	if cfg.Engine == EngineHA && cfg.Factory != nil {
+		return fmt.Errorf("server: Factory override is a directory-engine option; the ha engine executes real clusters")
+	}
+	switch cfg.Coalesce {
+	case CoalesceAuto:
+		cfg.coalesce = cfg.Model.IsMobile() && cfg.Engine == EngineDA && cfg.Factory == nil
+	case CoalesceOn:
+		if cfg.Engine == EngineHA {
+			return fmt.Errorf("server: coalescing requires a directory engine (da or sa)")
+		}
+		cfg.coalesce = true
+	case CoalesceOff:
+		cfg.coalesce = false
+	default:
+		return fmt.Errorf("server: unknown coalesce mode %d", cfg.Coalesce)
+	}
+	if cfg.Placement == nil {
+		t := cfg.T
+		cfg.Placement = func(string) model.Set { return model.FullSet(t) }
+	}
+	if cfg.Factory == nil && cfg.Engine != EngineHA {
+		cfg.Factory = factoryFor(cfg.Engine)
+	}
+	return nil
+}
+
+// Result is one serviced request's outcome.
+type Result struct {
+	// Object names the object serviced.
+	Object string
+	// Cost is the request's priced cost, including retransmission
+	// billing (Model.CC per lost attempt).
+	Cost float64
+	// Coalesced reports the request was served from the shard's
+	// freshness table without touching the engine.
+	Coalesced bool
+	// Retransmits counts lost attempts retried under the retry policy.
+	Retransmits int
+	// Err is the service error, e.g. netsim.Unreachable after the retry
+	// budget is exhausted. An errored request still consumed its slot in
+	// the object's schedule.
+	Err error
+}
+
+// Server is the running service.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	ops    *obs.Registry // scheduling-dependent operational metrics
+
+	mu       sync.RWMutex // admission guard: RLock to enqueue, Lock to drain
+	draining bool
+	drained  chan struct{}
+	isFinal  atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New starts the service: Shards shard goroutines, each with its own
+// engine, mailbox and (when configured) journal.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, ops: obs.NewRegistry(), drained: make(chan struct{})}
+	if cfg.Journal != "" {
+		if err := os.MkdirAll(cfg.Journal, 0o755); err != nil {
+			return nil, fmt.Errorf("server: journal dir: %w", err)
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		plan := s.cfg.Faults
+		if s.cfg.ShardFaults != nil {
+			plan = s.cfg.ShardFaults(i)
+		}
+		sh, err := newShard(s, i, plan)
+		if err != nil {
+			for _, prev := range s.shards {
+				close(prev.mail)
+			}
+			s.wg.Wait()
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	return s, nil
+}
+
+func newShard(s *Server, id int, plan *netsim.FaultPlan) (*shard, error) {
+	cfg := &s.cfg
+	var be backend
+	var err error
+	if cfg.Engine == EngineHA {
+		be = newHABackend(cfg, plan)
+	} else {
+		be, err = newDirectoryBackend(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sh := &shard{
+		id:      id,
+		srv:     s,
+		mail:    make(chan *task, cfg.Queue),
+		be:      be,
+		faults:  plan,
+		heldObj: make(map[string]bool),
+		blocked: make(map[string][]*task),
+		streams: make(map[string]*uint64),
+
+		depthHist: s.ops.Histogram(fmt.Sprintf("shard%d.queue_depth", id), 0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		batchHist: s.ops.Histogram(fmt.Sprintf("shard%d.batch_size", id), 1, 2, 4, 8, 16, 32, 64, 128),
+		svcHist:   s.ops.Histogram(fmt.Sprintf("shard%d.service_rounds", id), 1, 2, 4, 8, 16, 32),
+	}
+	if cfg.Engine != EngineHA && cfg.coalesce {
+		sh.fresh = make(map[string]model.Set)
+	}
+	if cfg.Journal != "" {
+		sh.journal, err = openJournal(filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", id)))
+		if err != nil {
+			be.close()
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
+// shardOf maps an object to its shard by FNV-1a hash — stable across
+// runs, so replays land objects on the same shards.
+func (s *Server) shardOf(object string) *shard {
+	return s.shards[int(fnv64a(object)%uint64(len(s.shards)))]
+}
+
+// Do submits one request and blocks until it is serviced. Admission
+// failures return before the request enters any schedule: *Overloaded
+// when the target shard's mailbox is full, ErrDraining after Drain
+// begins. A non-nil service error (e.g. netsim.Unreachable) means the
+// request WAS accepted and consumed — its Result carries the billed
+// retransmission cost.
+//
+// Determinism contract: callers must keep each object's requests on one
+// sequential path (issue the next request for an object only after the
+// previous one returned). Requests for different objects may be issued
+// from any number of goroutines.
+func (s *Server) Do(object string, q model.Request) (Result, error) {
+	if object == "" {
+		return Result{}, fmt.Errorf("server: empty object name")
+	}
+	if q.Processor < 0 || int(q.Processor) >= s.cfg.N {
+		return Result{}, fmt.Errorf("server: processor %d outside [0,%d)", q.Processor, s.cfg.N)
+	}
+	sh := s.shardOf(object)
+	t := &task{object: object, req: q, done: make(chan Result, 1)}
+
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return Result{}, ErrDraining
+	}
+	sh.accepted.Add(1)
+	select {
+	case sh.mail <- t:
+		s.mu.RUnlock()
+		sh.streak.Store(0)
+	default:
+		sh.accepted.Add(^uint64(0))
+		s.mu.RUnlock()
+		sh.rejected.Add(1)
+		return Result{}, &Overloaded{
+			Shard:      sh.id,
+			QueueLen:   len(sh.mail),
+			QueueCap:   cap(sh.mail),
+			RetryAfter: retryAfter(sh.streak.Add(1)),
+		}
+	}
+	r := <-t.done
+	return r, r.Err
+}
+
+// Drain gracefully shuts the pipeline down: new requests are refused
+// with ErrDraining, every accepted request (including faulted-delay
+// holds) completes, journals are flushed and fsynced, and the
+// deterministic accounting is emitted into Config.Obs. Drain blocks
+// until the drain is complete and is idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.drained
+		return
+	}
+	s.draining = true
+	for _, sh := range s.shards {
+		close(sh.mail)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.finalize()
+	s.isFinal.Store(true)
+	close(s.drained)
+}
+
+// Close drains the pipeline and releases engine resources (the HA
+// engine's cluster goroutines in particular).
+func (s *Server) Close() error {
+	s.Drain()
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.be.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// finalize runs after every shard loop has exited; backends are
+// goroutine-confined to their shard loops, so this is the first moment
+// the server goroutine may touch them. It emits the deterministic
+// accounting: totals as counters, per-object stats as events sorted by
+// object name — identical streams for any Shards setting.
+func (s *Server) finalize() {
+	o := s.cfg.Obs
+	if !o.Enabled() {
+		return
+	}
+	all := s.allStats()
+	var counts cost.Counts
+	var completed, coalesced, retrans, unreach, dups uint64
+	for _, sh := range s.shards {
+		counts = counts.Add(sh.extra)
+		completed += sh.completed.Load()
+		coalesced += sh.coalesced.Load()
+		retrans += sh.retrans.Load()
+		unreach += sh.unreach.Load()
+		dups += sh.dups.Load()
+	}
+	costMilli := o.Histogram("server.object_cost_milli", 0, 100, 300, 1000, 3000, 10000, 30000, 100000)
+	for _, st := range all {
+		counts = counts.Add(st.Counts)
+		costMilli.Observe(int64(st.Cost * 1000))
+		o.Emit(obs.Event{Name: "object", Attrs: []obs.Attr{
+			obs.String("name", st.Name),
+			obs.Int("requests", st.Requests),
+			obs.Int64("cost_milli", int64(st.Cost*1000)),
+			obs.Uint64("scheme", uint64(st.Scheme)),
+		}})
+	}
+	o.Counter("server.objects").Add(int64(len(all)))
+	o.Counter("server.requests").Add(int64(completed))
+	o.Counter("server.coalesced").Add(int64(coalesced))
+	o.Counter("server.retransmissions").Add(int64(retrans))
+	o.Counter("server.unreachable").Add(int64(unreach))
+	o.Counter("server.duplicates").Add(int64(dups))
+	o.Counter("server.msgs.control").Add(int64(counts.Control))
+	o.Counter("server.msgs.data").Add(int64(counts.Data))
+	o.Counter("server.io").Add(int64(counts.IO))
+}
+
+// allStats merges per-object stats across shards, sorted by name. Only
+// callable once the shard loops have exited.
+func (s *Server) allStats() []multiobject.Stats {
+	var all []multiobject.Stats
+	for _, sh := range s.shards {
+		all = append(all, sh.be.stats()...)
+	}
+	// Objects are partitioned by shard, so per-shard sorted slices merge
+	// into a globally sorted one with a plain merge; a sort keeps it
+	// simple and is O(n log n) once, at drain.
+	sortStats(all)
+	return all
+}
+
+// Stats is the service's live operational snapshot. The per-object
+// totals (Objects, Counts, Cost) are engine-confined and appear only
+// once the drain has completed (Final true).
+type Stats struct {
+	Engine   string       `json:"engine"`
+	Shards   int          `json:"shards"`
+	Draining bool         `json:"draining"`
+	Final    bool         `json:"final"`
+	Accepted uint64       `json:"accepted"`
+	Complete uint64       `json:"completed"`
+	Rejected uint64       `json:"rejected"`
+	Reads    uint64       `json:"reads"`
+	Writes   uint64       `json:"writes"`
+	Coalesce uint64       `json:"coalesced"`
+	Retrans  uint64       `json:"retransmissions"`
+	Unreach  uint64       `json:"unreachable"`
+	Dups     uint64       `json:"duplicates"`
+	Objects  int          `json:"objects,omitempty"`
+	Counts   cost.Counts  `json:"counts,omitzero"`
+	Cost     float64      `json:"cost,omitempty"`
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// ShardStats is one shard's operational snapshot.
+type ShardStats struct {
+	Shard    int    `json:"shard"`
+	Accepted uint64 `json:"accepted"`
+	Complete uint64 `json:"completed"`
+	Rejected uint64 `json:"rejected"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	Rounds   uint64 `json:"rounds"`
+}
+
+// Stats returns the operational snapshot. Safe to call at any time.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Engine:   s.cfg.Engine.String(),
+		Shards:   len(s.shards),
+		Draining: s.Draining(),
+		Final:    s.isFinal.Load(),
+	}
+	for _, sh := range s.shards {
+		ss := ShardStats{
+			Shard:    sh.id,
+			Accepted: sh.accepted.Load(),
+			Complete: sh.completed.Load(),
+			Rejected: sh.rejected.Load(),
+			QueueLen: len(sh.mail),
+			QueueCap: cap(sh.mail),
+			Rounds:   sh.rounds.Load(),
+		}
+		st.Accepted += ss.Accepted
+		st.Complete += ss.Complete
+		st.Rejected += ss.Rejected
+		st.Reads += sh.reads.Load()
+		st.Writes += sh.writes.Load()
+		st.Coalesce += sh.coalesced.Load()
+		st.Retrans += sh.retrans.Load()
+		st.Unreach += sh.unreach.Load()
+		st.Dups += sh.dups.Load()
+		st.PerShard = append(st.PerShard, ss)
+	}
+	if st.Final {
+		var counts cost.Counts
+		for _, sh := range s.shards {
+			st.Objects += sh.be.objects()
+			counts = counts.Add(sh.be.counts())
+			counts = counts.Add(sh.extra)
+		}
+		st.Counts = counts
+		st.Cost = counts.Price(s.cfg.Model)
+	}
+	return st
+}
+
+// Ops returns the scheduling-dependent operational metrics (queue depth,
+// batch size and service-round histograms per shard). These are NOT part
+// of the deterministic accounting — two runs with different shard counts
+// or timing produce different ops snapshots.
+func (s *Server) Ops() obs.Snapshot { return s.ops.Snapshot() }
+
+// ObjectStats returns the merged per-object stats, sorted by name. Only
+// valid after Drain; before that it returns nil.
+func (s *Server) ObjectStats() []multiobject.Stats {
+	if !s.isFinal.Load() {
+		return nil
+	}
+	return s.allStats()
+}
+
+// Gosched cooperates with spin-waiting shard loops in tests.
+var gosched = runtime.Gosched

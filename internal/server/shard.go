@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/multiobject"
+	"objalloc/internal/netsim"
+	"objalloc/internal/obs"
+)
+
+// task is one request in flight through a shard's pipeline.
+type task struct {
+	object string
+	req    model.Request
+	done   chan Result
+	holds  int // rounds spent held by an injected delay
+}
+
+// heldTask is a task held by an injected delay until a release round.
+type heldTask struct {
+	t       *task
+	release uint64
+}
+
+// shard is one partition: a mailbox, an engine and a service loop. All
+// non-atomic state below the marker is confined to the loop goroutine.
+type shard struct {
+	id     int
+	srv    *Server
+	mail   chan *task
+	be     backend
+	faults *netsim.FaultPlan
+
+	// loop-confined state.
+	round   uint64
+	held    []heldTask
+	heldObj map[string]bool
+	blocked map[string][]*task
+	fresh   map[string]model.Set // processors holding a current copy (coalescing); nil = off
+	streams map[string]*uint64   // per-object fault stream states
+	extra   cost.Counts          // retransmission billing (control messages)
+	journal *journalWriter
+
+	// operational metrics (scheduling-dependent, ops registry).
+	depthHist *obs.Histogram
+	batchHist *obs.Histogram
+	svcHist   *obs.Histogram
+
+	// counters read concurrently by Stats.
+	accepted  atomic.Uint64
+	completed atomic.Uint64
+	rejected  atomic.Uint64
+	reads     atomic.Uint64
+	writes    atomic.Uint64
+	coalesced atomic.Uint64
+	retrans   atomic.Uint64
+	unreach   atomic.Uint64
+	dups      atomic.Uint64
+	rounds    atomic.Uint64
+	streak    atomic.Uint32
+}
+
+// loop is the shard's service loop: gather a batch from the mailbox,
+// service it in arrival order, advance one virtual round (releasing due
+// delay-holds). After the mailbox closes it keeps advancing rounds until
+// every held task has been released — accepted requests never get lost.
+func (sh *shard) loop() {
+	defer sh.srv.wg.Done()
+	open := true
+	batch := make([]*task, 0, sh.srv.cfg.Batch)
+	for open || len(sh.held) > 0 {
+		if hook := sh.srv.cfg.testBeforeRound; hook != nil {
+			hook(sh.id)
+		}
+		batch = batch[:0]
+		if open && len(sh.held) == 0 {
+			// Idle with nothing held: block for work.
+			t, ok := <-sh.mail
+			if !ok {
+				open = false
+			} else {
+				batch = append(batch, t)
+			}
+		}
+		filling := open
+		for filling && len(batch) < cap(batch) {
+			select {
+			case t, ok := <-sh.mail:
+				if !ok {
+					open = false
+					filling = false
+				} else {
+					batch = append(batch, t)
+				}
+			default:
+				filling = false
+			}
+		}
+		sh.round++
+		sh.rounds.Add(1)
+		sh.depthHist.Observe(int64(len(sh.mail)))
+		if len(batch) > 0 {
+			sh.batchHist.Observe(int64(len(batch)))
+		}
+		for _, t := range batch {
+			sh.process(t, false)
+		}
+		sh.tickHeld()
+		if open && len(sh.held) > 0 && len(batch) == 0 {
+			// Spinning rounds forward to release holds; be polite.
+			gosched()
+		}
+	}
+	if sh.journal != nil {
+		sh.journal.close()
+	}
+}
+
+// tickHeld releases every held task whose round has come, in hold order.
+// A released task may immediately re-hold tasks it unblocks; their
+// release rounds are strictly in the future, so the scan terminates.
+func (sh *shard) tickHeld() {
+	for i := 0; i < len(sh.held); {
+		h := sh.held[i]
+		if h.release <= sh.round {
+			sh.held = append(sh.held[:i], sh.held[i+1:]...)
+			sh.releaseHeld(h.t)
+		} else {
+			i++
+		}
+	}
+}
+
+// releaseHeld services a delay-released task, then drains the tasks that
+// queued behind it on the same object — re-blocking the remainder if one
+// of them draws a delay of its own.
+func (sh *shard) releaseHeld(t *task) {
+	delete(sh.heldObj, t.object)
+	sh.process(t, true)
+	q := sh.blocked[t.object]
+	delete(sh.blocked, t.object)
+	for i, bt := range q {
+		sh.process(bt, false)
+		if sh.heldObj[t.object] {
+			sh.blocked[t.object] = append(sh.blocked[t.object], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// process services one task: fault draws (delay, loss, duplication) from
+// the object's deterministic stream, then coalescing, then the engine.
+// released marks a task coming back from a delay hold, which skips the
+// (already drawn) delay fault and the blocked-object check.
+func (sh *shard) process(t *task, released bool) {
+	if !released && sh.heldObj[t.object] {
+		// A delayed task owns this object; preserve per-object order.
+		sh.blocked[t.object] = append(sh.blocked[t.object], t)
+		return
+	}
+	var retransmits int
+	var retransCost float64
+	if plan := sh.faults; plan != nil && plan.Active() && sh.srv.cfg.Engine != EngineHA {
+		st := sh.stream(t.object)
+		if !released && plan.Delay > 0 && float01(st) < plan.Delay {
+			dmax := plan.DelayMax
+			if dmax < 1 {
+				dmax = 1
+			}
+			d := 1 + int(splitmix64(st)%uint64(dmax))
+			t.holds = d
+			sh.held = append(sh.held, heldTask{t: t, release: sh.round + uint64(d)})
+			sh.heldObj[t.object] = true
+			return
+		}
+		if plan.Loss > 0 {
+			attempts := sh.srv.cfg.Retry.Attempts()
+			if sh.srv.cfg.Retry.Disabled {
+				attempts = 1
+			}
+			delivered := false
+			for a := 0; a < attempts; a++ {
+				if float01(st) < plan.Loss {
+					retransmits++
+				} else {
+					delivered = true
+					break
+				}
+			}
+			// Every lost attempt was a control message on the wire.
+			sh.extra.Control += retransmits
+			retransCost = float64(retransmits) * sh.srv.cfg.Model.CC
+			sh.retrans.Add(uint64(retransmits))
+			if !delivered {
+				sh.finish(t, Result{
+					Object:      t.object,
+					Cost:        retransCost,
+					Retransmits: retransmits,
+					Err:         netsim.Unreachable{Peer: t.req.Processor},
+				})
+				sh.unreach.Add(1)
+				return
+			}
+		}
+		if plan.Dup > 0 && float01(st) < plan.Dup {
+			sh.dups.Add(1)
+		}
+	}
+	if sh.fresh != nil && t.req.IsRead() && sh.fresh[t.object].Contains(t.req.Processor) {
+		// Coalesced: this processor already holds a current copy, the
+		// read is local and free under the mobile model.
+		sh.coalesced.Add(1)
+		sh.reads.Add(1)
+		sh.finish(t, Result{Object: t.object, Cost: retransCost, Coalesced: true, Retransmits: retransmits})
+		return
+	}
+	c, err := sh.be.apply(t.object, t.req)
+	if sh.fresh != nil && err == nil {
+		if t.req.IsRead() {
+			// The saving read installed a copy at the reader.
+			sh.fresh[t.object] = sh.fresh[t.object].Add(t.req.Processor)
+		} else {
+			// A write invalidates every remote copy.
+			delete(sh.fresh, t.object)
+		}
+	}
+	if t.req.IsRead() {
+		sh.reads.Add(1)
+	} else {
+		sh.writes.Add(1)
+	}
+	sh.finish(t, Result{Object: t.object, Cost: c + retransCost, Retransmits: retransmits, Err: err})
+}
+
+// finish completes a task: journal, metrics, reply.
+func (sh *shard) finish(t *task, r Result) {
+	sh.svcHist.Observe(int64(1 + t.holds))
+	if sh.journal != nil {
+		sh.journal.record(t, r)
+	}
+	sh.completed.Add(1)
+	t.done <- r
+}
+
+// stream returns the object's fault stream state, seeding it on first
+// touch from (plan seed ⊕ config seed, object hash) — a function of the
+// object alone, never of the shard or the batch, so fault outcomes are
+// identical at any shard count.
+func (sh *shard) stream(object string) *uint64 {
+	st, ok := sh.streams[object]
+	if !ok {
+		seed := (sh.faults.Seed ^ uint64(sh.srv.cfg.Seed)) * 0x9e3779b97f4a7c15
+		v := seed ^ fnv64a(object)
+		st = &v
+		splitmix64(st) // burn one draw to decorrelate nearby seeds
+		sh.streams[object] = st
+	}
+	return st
+}
+
+// journalWriter appends one JSONL record per completed request and
+// fsyncs on close, so an orderly drain leaves a durable trace.
+type journalWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	return &journalWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (j *journalWriter) record(t *task, r Result) {
+	errStr := ""
+	if r.Err != nil {
+		errStr = fmt.Sprintf(",%q:%q", "err", r.Err.Error())
+	}
+	fmt.Fprintf(j.w, "{%q:%q,%q:%q,%q:%d,%q:%d,%q:%t%s}\n",
+		"object", t.object, "op", t.req.Op.String(), "p", int(t.req.Processor),
+		"cost_milli", int64(r.Cost*1000), "coalesced", r.Coalesced, errStr)
+}
+
+func (j *journalWriter) close() {
+	j.w.Flush()
+	j.f.Sync()
+	j.f.Close()
+}
+
+// fnv64a is the 64-bit FNV-1a hash, used for the object→shard mapping
+// and per-object fault-stream seeding.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 advances the state and returns the next value of the
+// splitmix64 stream (same generator netsim uses for its fault streams).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float01 draws a uniform float in [0,1) from the stream.
+func float01(state *uint64) float64 {
+	return float64(splitmix64(state)>>11) / (1 << 53)
+}
+
+func sortStats(all []multiobject.Stats) {
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+}

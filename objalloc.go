@@ -220,6 +220,14 @@ func SABound(m CostModel) float64 { return competitive.SABound(m) }
 // DABound is Theorems 2-4: 2+2cc (SC), 2+cc (SC with cd>1), 2+3cc/cd (MC).
 func DABound(m CostModel) float64 { return competitive.DABound(m) }
 
+// Spec is the contract shared by every evaluation spec (SweepSpec,
+// SearchConfig, CrossoverSpec, FitSpec): Normalize validates the spec and
+// resolves its defaults in place. Every evaluation entry point calls its
+// spec's Normalize first, so a caller that wants early errors — a CLI
+// validating flags before a long run, say — can call Normalize itself and
+// pass the normalized spec on.
+type Spec = competitive.Spec
+
 // GridPoint is one measured point of a (cd, cc) plane sweep.
 type GridPoint = competitive.GridPoint
 
@@ -249,7 +257,7 @@ func SweepContext(ctx context.Context, spec SweepSpec) ([]GridPoint, error) {
 // Deprecated: use SweepContext with a SweepSpec; Sweep runs with
 // context.Background and default parallelism.
 func Sweep(cds, ccs []float64, mobile bool, battery BatteryConfig) ([]GridPoint, error) {
-	return competitive.Sweep(context.Background(), SweepSpec{CDs: cds, CCs: ccs, Mobile: mobile, Battery: battery})
+	return SweepContext(context.Background(), SweepSpec{CDs: cds, CCs: ccs, Mobile: mobile, Battery: battery})
 }
 
 // RenderGrid draws a sweep as an ASCII region map in the style of the
@@ -279,7 +287,7 @@ func SearchWorstCaseContext(ctx context.Context, cfg SearchConfig) (SearchResult
 // Deprecated: use SearchWorstCaseContext so long searches can be
 // cancelled.
 func SearchWorstCase(cfg SearchConfig) (SearchResult, error) {
-	return competitive.Search(context.Background(), cfg)
+	return SearchWorstCaseContext(context.Background(), cfg)
 }
 
 // ShrinkWitness minimizes an adversarial witness while keeping its ratio
@@ -309,9 +317,7 @@ func CrossoverContext(ctx context.Context, spec CrossoverSpec) (CrossoverResult,
 // Deprecated: use CrossoverContext with a CrossoverSpec; Crossover runs
 // with context.Background and default parallelism.
 func Crossover(cc, cdMax float64, iters int, battery BatteryConfig) (CrossoverResult, error) {
-	return competitive.Crossover(context.Background(), CrossoverSpec{
-		CC: cc, CDMax: cdMax, Iters: iters, Battery: battery,
-	})
+	return CrossoverContext(context.Background(), CrossoverSpec{CC: cc, CDMax: cdMax, Iters: iters, Battery: battery})
 }
 
 // ScheduleFamily generates the k-th member of a growing schedule family.
@@ -339,9 +345,7 @@ func FitAsymptoticContext(ctx context.Context, spec FitSpec) (AsymptoticFit, err
 // Deprecated: use FitAsymptoticContext with a FitSpec; FitAsymptotic runs
 // with context.Background and default parallelism.
 func FitAsymptotic(m CostModel, f Factory, family ScheduleFamily, ks []int, initial Set, t int) (AsymptoticFit, error) {
-	return competitive.FitAsymptotic(context.Background(), FitSpec{
-		Model: m, Factory: f, Family: family, Ks: ks, Initial: initial, T: t,
-	})
+	return FitAsymptoticContext(context.Background(), FitSpec{Model: m, Factory: f, Family: family, Ks: ks, Initial: initial, T: t})
 }
 
 // ---- Executable distributed system ----
@@ -376,30 +380,24 @@ const (
 type ClusterConfig = sim.Config
 
 // Cluster is a running distributed system: one goroutine per processor,
-// a billed message network, and per-processor local databases.
+// a billed message network, and per-processor local databases. Build one
+// with NewCluster (see options.go for the ClusterOption family).
 type Cluster = sim.Cluster
-
-// NewCluster builds and starts a cluster.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) { return sim.New(cfg) }
 
 // QuorumConfig describes a quorum-consensus cluster.
 type QuorumConfig = quorum.Config
 
-// QuorumCluster is a majority/weighted-voting replicated system.
+// QuorumCluster is a majority/weighted-voting replicated system. Build
+// one with NewQuorumCluster.
 type QuorumCluster = quorum.Cluster
-
-// NewQuorumCluster builds and starts a quorum cluster.
-func NewQuorumCluster(cfg QuorumConfig) (*QuorumCluster, error) { return quorum.New(cfg) }
 
 // HAConfig describes a DA cluster with quorum failover (§2).
 type HAConfig = ha.Config
 
 // HACluster runs DA in normal mode and fails over to quorum consensus when
 // a member of F ∪ {p} crashes, failing back after missing-writes recovery.
+// Build one with NewHACluster.
 type HACluster = ha.Cluster
-
-// NewHACluster builds and starts a highly-available cluster.
-func NewHACluster(cfg HAConfig) (*HACluster, error) { return ha.New(cfg) }
 
 // ---- Chaos layer: deterministic faults and invariant-checked runs ----
 
@@ -497,7 +495,7 @@ func OptimalBeamContext(ctx context.Context, m CostModel, sched Schedule, initia
 //
 // Deprecated: use OptimalBeamContext so long searches can be cancelled.
 func OptimalBeam(m CostModel, sched Schedule, initial Set, t, width int) (*BeamResult, error) {
-	return opt.Beam(m, sched, initial, t, width)
+	return OptimalBeamContext(context.Background(), m, sched, initial, t, width)
 }
 
 // ---- Heterogeneous costs (§6 extension) ----

@@ -1,0 +1,250 @@
+package objalloc_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"objalloc"
+)
+
+// smallBattery is a fast battery for equivalence tests.
+func smallBattery() objalloc.BatteryConfig {
+	b := objalloc.DefaultBattery()
+	b.RandomSchedules, b.RandomLength, b.NemesisRounds = 1, 10, 8
+	return b
+}
+
+// The deprecated positional wrappers must be pure delegations: on a fixed
+// seed their results are identical — field for field — to calling the
+// *Context form with the equivalent spec.
+
+func TestWrapperEquivalenceSweep(t *testing.T) {
+	cds, ccs := []float64{0.5, 1.5}, []float64{0.2}
+	battery := smallBattery()
+	old, err := objalloc.Sweep(cds, ccs, false, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := objalloc.SweepSpec{CDs: cds, CCs: ccs, Mobile: false, Battery: battery}
+	ctx, err := objalloc.SweepContext(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, ctx) {
+		t.Fatalf("Sweep diverges from SweepContext:\n%+v\nvs\n%+v", old, ctx)
+	}
+}
+
+func TestWrapperEquivalenceSearch(t *testing.T) {
+	cfg := objalloc.SearchConfig{
+		Model: objalloc.SC(0.25, 1), Factory: objalloc.DynamicFactory,
+		N: 4, T: 2, Length: 8, Restarts: 3, Steps: 20, Seed: 7,
+	}
+	old, err := objalloc.SearchWorstCase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := objalloc.SearchWorstCaseContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, viaCtx) {
+		t.Fatalf("SearchWorstCase diverges:\n%+v\nvs\n%+v", old, viaCtx)
+	}
+}
+
+func TestWrapperEquivalenceCrossover(t *testing.T) {
+	battery := smallBattery()
+	old, err := objalloc.Crossover(0.2, 2.0, 4, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := objalloc.CrossoverContext(context.Background(),
+		objalloc.CrossoverSpec{CC: 0.2, CDMax: 2.0, Iters: 4, Battery: battery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != viaCtx {
+		t.Fatalf("Crossover diverges: %+v vs %+v", old, viaCtx)
+	}
+}
+
+func TestWrapperEquivalenceFit(t *testing.T) {
+	family := func(k int) objalloc.Schedule {
+		var s objalloc.Schedule
+		s = append(s, objalloc.W(0))
+		for i := 0; i < k; i++ {
+			s = append(s, objalloc.R(1))
+		}
+		return s
+	}
+	m := objalloc.SC(0.25, 1)
+	ks := []int{2, 4, 8}
+	initial := objalloc.NewSet(0, 1)
+	old, err := objalloc.FitAsymptotic(m, objalloc.StaticFactory, family, ks, initial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := objalloc.FitAsymptoticContext(context.Background(), objalloc.FitSpec{
+		Model: m, Factory: objalloc.StaticFactory, Family: family, Ks: ks, Initial: initial, T: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != viaCtx {
+		t.Fatalf("FitAsymptotic diverges: %+v vs %+v", old, viaCtx)
+	}
+}
+
+func TestWrapperEquivalenceOptimal(t *testing.T) {
+	m := objalloc.SC(0.25, 1)
+	sched := objalloc.MustParseSchedule("w1 r2 r3 w0 r1")
+	initial := objalloc.NewSet(0, 1)
+	oldCost, err := objalloc.OptimalCost(m, sched, initial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxCost, err := objalloc.OptimalCostContext(context.Background(), m, sched, initial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldCost != ctxCost {
+		t.Fatalf("OptimalCost %v != OptimalCostContext %v", oldCost, ctxCost)
+	}
+	oldRes, err := objalloc.Optimal(m, sched, initial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := objalloc.OptimalContext(context.Background(), m, sched, initial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldRes, ctxRes) {
+		t.Fatalf("Optimal diverges: %+v vs %+v", oldRes, ctxRes)
+	}
+	oldBeam, err := objalloc.OptimalBeam(m, sched, initial, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxBeam, err := objalloc.OptimalBeamContext(context.Background(), m, sched, initial, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldBeam, ctxBeam) {
+		t.Fatalf("OptimalBeam diverges: %+v vs %+v", oldBeam, ctxBeam)
+	}
+}
+
+// Every evaluation spec shares the Normalize contract, and the entry
+// points surface its validation errors.
+func TestSpecNormalize(t *testing.T) {
+	specs := []objalloc.Spec{
+		&objalloc.SweepSpec{},
+		&objalloc.SearchConfig{},
+		&objalloc.CrossoverSpec{},
+		&objalloc.FitSpec{},
+	}
+	for i, s := range specs {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("spec %d: zero value normalized without error", i)
+		}
+	}
+	good := &objalloc.SearchConfig{
+		Model: objalloc.SC(0.25, 1), Factory: objalloc.DynamicFactory,
+		N: 4, T: 2, Length: 8,
+	}
+	if err := good.Normalize(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if good.Restarts != 1 || good.InitialTemp == 0 || good.Cooling == 0 {
+		t.Fatalf("defaults not resolved: %+v", good)
+	}
+	if _, err := objalloc.SearchWorstCase(objalloc.SearchConfig{}); err == nil {
+		t.Fatal("entry point did not surface the Normalize error")
+	}
+}
+
+// A cluster built through functional options behaves identically to one
+// built from the equivalent config struct.
+func TestClusterOptionsEquivalence(t *testing.T) {
+	sched := objalloc.MustParseSchedule("w2 r4 w3 r1 r2 w0 r3")
+	build := func(c *objalloc.Cluster, err error) (objalloc.Counts, objalloc.Set) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Run(sched); err != nil {
+			t.Fatal(err)
+		}
+		return c.Counts(), c.Scheme()
+	}
+	optCounts, optScheme := build(objalloc.NewCluster(5,
+		objalloc.WithProtocol(objalloc.ProtocolDA),
+		objalloc.WithAvailability(2),
+		objalloc.WithInitial(objalloc.NewSet(0, 1)),
+	))
+	cfgCounts, cfgScheme := build(objalloc.NewClusterFromConfig(objalloc.ClusterConfig{
+		N: 5, T: 2, Protocol: objalloc.ProtocolDA, Initial: objalloc.NewSet(0, 1),
+	}))
+	if optCounts != cfgCounts || optScheme != cfgScheme {
+		t.Fatalf("options build diverges: %v %v vs %v %v", optCounts, optScheme, cfgCounts, cfgScheme)
+	}
+}
+
+func TestClusterOptionsFaultSeed(t *testing.T) {
+	run := func(opts ...objalloc.ClusterOption) objalloc.Counts {
+		t.Helper()
+		c, err := objalloc.NewCluster(4, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := c.Write(objalloc.ProcessorID(i%4), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Counts()
+	}
+	base := []objalloc.ClusterOption{
+		objalloc.WithInitial(objalloc.FullSet(2)),
+		objalloc.WithFaults(objalloc.FaultPlan{Seed: 1, Loss: 0.3}),
+	}
+	a := run(base...)
+	b := run(append(base, objalloc.WithSeed(1))...) // same seed, same run
+	if a != b {
+		t.Fatalf("WithSeed(1) changed a Seed-1 plan: %v vs %v", a, b)
+	}
+}
+
+// The serving facade: build, drive and drain a sharded server through
+// the public objalloc surface.
+func TestServerFacade(t *testing.T) {
+	s, err := objalloc.NewServer(objalloc.ServerConfig{
+		Shards: 2, N: 4, T: 2, Model: objalloc.MC(0.25, 1), Coalesce: objalloc.CoalesceAuto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Do("obj", objalloc.R(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	st := s.Stats()
+	if st.Accepted != 20 || st.Complete != 20 {
+		t.Fatalf("accepted %d completed %d, want 20/20", st.Accepted, st.Complete)
+	}
+	if st.Coalesce == 0 {
+		t.Fatal("repeat mobile reads were not coalesced")
+	}
+	if _, err := s.Do("obj", objalloc.R(1)); err != objalloc.ErrServerDraining {
+		t.Fatalf("post-drain error = %v, want ErrServerDraining", err)
+	}
+	if eng, err := objalloc.ParseServerEngine("ha"); err != nil || eng != objalloc.ServerEngineHA {
+		t.Fatalf("ParseServerEngine = %v, %v", eng, err)
+	}
+}

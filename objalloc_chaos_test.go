@@ -36,10 +36,12 @@ func TestChaosFacade(t *testing.T) {
 	}
 
 	// Direct cluster use with a fault plan.
-	c, err := objalloc.NewCluster(objalloc.ClusterConfig{
-		N: 4, T: 2, Protocol: objalloc.ProtocolDA, Initial: objalloc.FullSet(2),
-		Faults: &objalloc.FaultPlan{Seed: 1, Loss: 0.2},
-	})
+	c, err := objalloc.NewCluster(4,
+		objalloc.WithProtocol(objalloc.ProtocolDA),
+		objalloc.WithAvailability(2),
+		objalloc.WithInitial(objalloc.FullSet(2)),
+		objalloc.WithFaults(objalloc.FaultPlan{Seed: 1, Loss: 0.2}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

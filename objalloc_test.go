@@ -66,9 +66,10 @@ func TestFacadeBounds(t *testing.T) {
 }
 
 func TestFacadeCluster(t *testing.T) {
-	c, err := objalloc.NewCluster(objalloc.ClusterConfig{
-		N: 4, T: 2, Protocol: objalloc.ProtocolDA, Initial: objalloc.NewSet(0, 1),
-	})
+	c, err := objalloc.NewCluster(4,
+		objalloc.WithProtocol(objalloc.ProtocolDA),
+		objalloc.WithInitial(objalloc.NewSet(0, 1)),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFacadeCluster(t *testing.T) {
 }
 
 func TestFacadeHAAndQuorum(t *testing.T) {
-	h, err := objalloc.NewHACluster(objalloc.HAConfig{N: 5, T: 2, Initial: objalloc.NewSet(0, 1)})
+	h, err := objalloc.NewHACluster(5, objalloc.WithInitial(objalloc.NewSet(0, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFacadeHAAndQuorum(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	q, err := objalloc.NewQuorumCluster(objalloc.QuorumConfig{N: 3, Preload: true})
+	q, err := objalloc.NewQuorumCluster(3, objalloc.WithPreload(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,9 +264,10 @@ func ExampleAdvise() {
 
 // Running the executed DA protocol and pricing the traffic it generated.
 func ExampleNewCluster() {
-	c, _ := objalloc.NewCluster(objalloc.ClusterConfig{
-		N: 4, T: 2, Protocol: objalloc.ProtocolDA, Initial: objalloc.NewSet(0, 1),
-	})
+	c, _ := objalloc.NewCluster(4,
+		objalloc.WithProtocol(objalloc.ProtocolDA),
+		objalloc.WithInitial(objalloc.NewSet(0, 1)),
+	)
 	defer c.Close()
 	c.Write(2, []byte("v2"))
 	c.Read(3) // saving-read: 3 joins the allocation scheme
@@ -462,9 +464,10 @@ func TestGrandTour(t *testing.T) {
 	}
 
 	// 3. Executed run matches the analytic cost exactly.
-	cluster, err := objalloc.NewCluster(objalloc.ClusterConfig{
-		N: 6, T: 2, Protocol: objalloc.ProtocolDA, Initial: initial,
-	})
+	cluster, err := objalloc.NewCluster(6,
+		objalloc.WithProtocol(objalloc.ProtocolDA),
+		objalloc.WithInitial(initial),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -479,7 +482,7 @@ func TestGrandTour(t *testing.T) {
 	}
 
 	// 4. The same deployment survives an F failure.
-	h, err := objalloc.NewHACluster(objalloc.HAConfig{N: 6, T: 2, Initial: initial})
+	h, err := objalloc.NewHACluster(6, objalloc.WithInitial(initial))
 	if err != nil {
 		t.Fatal(err)
 	}

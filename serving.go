@@ -1,0 +1,82 @@
+package objalloc
+
+import (
+	"net/http"
+
+	"objalloc/internal/server"
+)
+
+// ---- Sharded allocation service ----
+//
+// The server package turns the multi-object directory into a
+// long-running service: objects are hashed to independent shards, each
+// shard runs its own allocation engine (SA, DA or executed HA clusters)
+// behind a batched mailbox with admission control, and a graceful drain
+// completes every accepted request before shutdown. The objallocd daemon
+// (cmd/objallocd) serves this over HTTP; loadgen (cmd/loadgen) replays
+// workload streams against it.
+
+// ServerConfig describes the sharded allocation service.
+type ServerConfig = server.Config
+
+// Server is the running service.
+type Server = server.Server
+
+// ServerResult is one serviced request's outcome.
+type ServerResult = server.Result
+
+// ServerStats is the service's operational snapshot.
+type ServerStats = server.Stats
+
+// ServerShardStats is one shard's operational snapshot.
+type ServerShardStats = server.ShardStats
+
+// ServerEngine selects the per-shard engine.
+type ServerEngine = server.Engine
+
+// Server engines.
+const (
+	ServerEngineDA = server.EngineDA
+	ServerEngineSA = server.EngineSA
+	ServerEngineHA = server.EngineHA
+)
+
+// CoalesceMode controls the service's read coalescing.
+type CoalesceMode = server.CoalesceMode
+
+// Coalesce modes.
+const (
+	CoalesceAuto = server.CoalesceAuto
+	CoalesceOn   = server.CoalesceOn
+	CoalesceOff  = server.CoalesceOff
+)
+
+// Overloaded is the admission-control rejection: the target shard's
+// mailbox is full; retry after its RetryAfter hint.
+type Overloaded = server.Overloaded
+
+// ErrServerDraining is returned by Server.Do once the graceful drain has
+// begun.
+var ErrServerDraining = server.ErrDraining
+
+// NewServer starts the sharded allocation service.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ParseServerEngine parses an engine name: "da", "sa" or "ha".
+func ParseServerEngine(s string) (ServerEngine, error) { return server.ParseEngine(s) }
+
+// ServerHandler returns the service's HTTP API (POST /v1/batch,
+// GET /v1/stats, GET /v1/healthz).
+func ServerHandler(s *Server) http.Handler { return s.Handler() }
+
+// ServerClient is a minimal client for the HTTP API.
+type ServerClient = server.Client
+
+// WireRequest and WireResult are the HTTP API's request/response items;
+// BatchRequest and BatchResponse frame them.
+type (
+	WireRequest   = server.WireRequest
+	WireResult    = server.WireResult
+	BatchRequest  = server.BatchRequest
+	BatchResponse = server.BatchResponse
+)
