@@ -23,8 +23,11 @@ test:
 race:
 	go test -shuffle=on -race ./...
 
+# bench runs every root benchmark with fixed -benchtime/-count and
+# writes BENCH_objalloc.json at the repo root — the perf trajectory
+# successive PRs diff against.
 bench:
-	go test -bench=. -benchmem
+	sh scripts/bench.sh
 
 obscheck:
 	go vet ./internal/obs
@@ -34,6 +37,7 @@ obscheck:
 fuzzsmoke:
 	go test -run none -fuzz FuzzConfigNormalize -fuzztime 10s ./internal/quorum
 	go test -run none -fuzz FuzzParseFaults -fuzztime 10s ./internal/chaos
+	go test -run none -fuzz FuzzParseAdaptiveSpec -fuzztime 10s ./internal/adaptive
 
 serve-smoke:
 	sh scripts/serve_smoke.sh

@@ -7,9 +7,12 @@ package objalloc_test
 
 import (
 	"context"
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
+	"objalloc/internal/adaptive"
 	"objalloc/internal/adversary"
 	"objalloc/internal/baseline"
 	"objalloc/internal/cache"
@@ -22,6 +25,7 @@ import (
 	"objalloc/internal/latency"
 	"objalloc/internal/model"
 	"objalloc/internal/opt"
+	"objalloc/internal/server"
 	"objalloc/internal/sim"
 	"objalloc/internal/workload"
 )
@@ -608,6 +612,42 @@ func BenchmarkCrossover(b *testing.B) {
 		cd = res.CD
 	}
 	b.ReportMetric(cd, "crossover-cd")
+}
+
+// E25: the adaptive engine serving a mix-flip adversary end to end — the
+// sharded server runs the per-object SA/DA controller against alternating
+// read-heavy and write-heavy phases. Reports the adaptive total cost
+// relative to the better of the two fixed protocols on the same stream
+// (< 1 means the controller beats any fixed choice).
+func BenchmarkAdaptiveServer(b *testing.B) {
+	sched := adversary.MixFlip(5, 0, 40, 3)
+	const objects = 32
+	run := func(eng server.Engine, spec adaptive.Spec) float64 {
+		s, err := server.New(server.Config{
+			Shards: 4, Engine: eng, Adaptive: spec, N: 6, T: 3,
+			Model: cost.SC(0.25, 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for o := 0; o < objects; o++ {
+			name := fmt.Sprintf("obj-%d", o)
+			for _, q := range sched {
+				if _, err := s.Do(name, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		s.Drain()
+		return s.Stats().Cost
+	}
+	var adaptiveCost float64
+	for i := 0; i < b.N; i++ {
+		adaptiveCost = run(server.EngineAdaptive, adaptive.Spec{Window: 8, Hysteresis: 2})
+	}
+	b.StopTimer()
+	best := math.Min(run(server.EngineSA, adaptive.Spec{}), run(server.EngineDA, adaptive.Spec{}))
+	b.ReportMetric(adaptiveCost/best, "adaptive/best-fixed")
 }
 
 // sweepBenchSpec is the figure-1 grid at reduced resolution: enough cells

@@ -8,7 +8,11 @@
 //	loadgen -addr 127.0.0.1:8080 [-workload uniform:n=8,pwrite=0.3]
 //	        [-objects 64] [-workers 4] [-requests 10000] [-duration 0]
 //	        [-batch 32] [-seed 1]
-//	loadgen -inproc [-shards 8] [-engine da] ... (same workload flags)
+//	loadgen -inproc [-shards 8] [-engine da] [-adaptive window=8] ...
+//	        (same workload flags)
+//
+// Both paths report throughput, per-batch latency, and end-to-end
+// per-request latency percentiles (p50/p90/p99/max).
 //
 // Workers own disjoint object partitions (object index mod workers), so
 // each object's requests stay on one sequential path — the service's
@@ -28,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"objalloc/internal/adaptive"
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
 	"objalloc/internal/server"
@@ -64,7 +69,8 @@ func run(args []string) error {
 
 		shards     = fs.Int("shards", 8, "in-process server: shards")
 		queue      = fs.Int("queue", 256, "in-process server: per-shard queue")
-		engineName = fs.String("engine", "da", "in-process server: engine")
+		engineName = fs.String("engine", "da", "in-process server: engine (da, sa, ha, adaptive)")
+		adaptSpec  = fs.String("adaptive", "", "in-process server: adaptive-controller spec for -engine adaptive")
 		n          = fs.Int("n", 8, "in-process server: processors")
 		t          = fs.Int("t", 3, "in-process server: availability threshold")
 		cc         = fs.Float64("cc", 0.25, "in-process server: control-message cost")
@@ -87,8 +93,22 @@ func run(args []string) error {
 	var do func(worker int, reqs []server.WireRequest) (int, bool, error)
 	var finish func() error
 
+	// Per-request end-to-end latencies: the in-process path times every
+	// Server.Do individually; the HTTP path attributes each batch's round
+	// trip to every request it completed (requests in a batch are
+	// submitted together, so the round trip IS each one's end-to-end
+	// latency). A bounded reservoir keeps duration-mode soaks O(1) memory.
+	reqLats := newLatReservoir(1<<17, *seed)
+
 	if *inproc {
 		eng, err := server.ParseEngine(*engineName)
+		if err != nil {
+			return err
+		}
+		if *adaptSpec != "" && eng != server.EngineAdaptive {
+			return fmt.Errorf("-adaptive requires -engine adaptive (got %s)", eng)
+		}
+		aspec, err := adaptive.ParseSpec(*adaptSpec)
 		if err != nil {
 			return err
 		}
@@ -97,7 +117,7 @@ func run(args []string) error {
 			m = cost.MC(*cc, *cd)
 		}
 		srv, err := server.New(server.Config{
-			Shards: *shards, Queue: *queue, Engine: eng, N: *n, T: *t, Model: m,
+			Shards: *shards, Queue: *queue, Engine: eng, Adaptive: aspec, N: *n, T: *t, Model: m,
 		})
 		if err != nil {
 			return err
@@ -109,6 +129,7 @@ func run(args []string) error {
 				if wr.Op == "w" {
 					q = model.W(model.ProcessorID(wr.Processor))
 				}
+				t0 := time.Now()
 				_, err := srv.Do(wr.Object, q)
 				if err != nil {
 					if ov, ok := err.(*server.Overloaded); ok {
@@ -120,6 +141,7 @@ func run(args []string) error {
 					}
 					// Service error (e.g. unreachable): consumed.
 				}
+				reqLats.add(time.Since(t0))
 				done++
 			}
 			return done, false, nil
@@ -137,10 +159,12 @@ func run(args []string) error {
 	} else {
 		client := &server.Client{Base: "http://" + *addr}
 		do = func(_ int, reqs []server.WireRequest) (int, bool, error) {
+			t0 := time.Now()
 			resp, err := client.Batch(reqs)
 			if err != nil {
 				return 0, false, err
 			}
+			reqLats.addN(time.Since(t0), resp.Done)
 			if resp.RetryAfterMS > 0 {
 				time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
 			}
@@ -253,6 +277,11 @@ func run(args []string) error {
 			latencies[len(latencies)*99/100].Round(time.Microsecond),
 			latencies[len(latencies)-1].Round(time.Microsecond))
 	}
+	if n, p50, p90, p99, max := reqLats.percentiles(); n > 0 {
+		fmt.Printf("request latency: p50 %s  p90 %s  p99 %s  max %s (%d requests)\n",
+			p50.Round(time.Microsecond), p90.Round(time.Microsecond),
+			p99.Round(time.Microsecond), max.Round(time.Microsecond), n)
+	}
 	if err := finish(); err != nil {
 		return err
 	}
@@ -260,4 +289,67 @@ func run(args []string) error {
 		return fmt.Errorf("%d workers errored", cnt.errored.Load())
 	}
 	return nil
+}
+
+// latReservoir keeps a uniform bounded sample of per-request latencies
+// (Vitter's reservoir sampling) plus the exact count and maximum, so
+// percentile reporting costs O(capacity) memory even on unbounded
+// -duration soaks.
+type latReservoir struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seen uint64
+	max  time.Duration
+	buf  []time.Duration
+	cap  int
+}
+
+func newLatReservoir(capacity int, seed int64) *latReservoir {
+	return &latReservoir{rng: rand.New(rand.NewSource(seed)), cap: capacity}
+}
+
+func (r *latReservoir) add(d time.Duration) { r.addN(d, 1) }
+
+// addN records n requests that each took d (a batch round trip serviced n
+// requests submitted together).
+func (r *latReservoir) addN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d > r.max {
+		r.max = d
+	}
+	for i := 0; i < n; i++ {
+		r.seen++
+		if len(r.buf) < r.cap {
+			r.buf = append(r.buf, d)
+			continue
+		}
+		if j := r.rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+			r.buf[j] = d
+		}
+	}
+}
+
+// percentiles returns the request count and the p50/p90/p99/max of the
+// sample. The maximum is exact, not sampled.
+func (r *latReservoir) percentiles() (n uint64, p50, p90, p99, max time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	sorted := make([]time.Duration, len(r.buf))
+	copy(sorted, r.buf)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return r.seen, at(0.50), at(0.90), at(0.99), r.max
 }

@@ -1,11 +1,13 @@
 // Command objallocd is the sharded allocation service daemon: the
 // multi-object directory partitioned over independent shards, each
-// running its own allocation engine (SA, DA or executed HA clusters)
-// behind a batched mailbox with admission control, served over HTTP.
+// running its own allocation engine (SA, DA, executed HA clusters, or
+// the online adaptive SA/DA controller) behind a batched mailbox with
+// admission control, served over HTTP.
 //
 // Usage:
 //
 //	objallocd [-shards 8] [-queue 256] [-batch 64] [-engine da]
+//	          [-adaptive window=8,hysteresis=2]
 //	          [-n 8] [-t 3] [-cc 0.25] [-cd 1] [-mobile]
 //	          [-coalesce auto] [-faults loss=0.1,delay=0.2] [-noretry]
 //	          [-attempts 0] [-seed 0] [-journal dir]
@@ -32,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"objalloc/internal/adaptive"
 	"objalloc/internal/chaos"
 	"objalloc/internal/cost"
 	"objalloc/internal/netsim"
@@ -55,7 +58,8 @@ func run(args []string, ready chan<- string) error {
 		shards       = fs.Int("shards", 8, "independent shards (objects are hashed across them)")
 		queue        = fs.Int("queue", 256, "per-shard mailbox capacity (admission control bound)")
 		batch        = fs.Int("batch", 64, "max requests per shard service round")
-		engineName   = fs.String("engine", "da", "per-shard engine: da, sa, ha")
+		engineName   = fs.String("engine", "da", "per-shard engine: da, sa, ha, adaptive")
+		adaptiveSpec = fs.String("adaptive", "", "adaptive-controller spec for -engine adaptive, e.g. adaptive:window=8,hysteresis=2,decay=0.1,start=auto,region=on")
 		n            = fs.Int("n", 8, "processors")
 		t            = fs.Int("t", 3, "availability threshold")
 		cc           = fs.Float64("cc", 0.25, "control-message cost")
@@ -80,6 +84,13 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	eng, err := server.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	if *adaptiveSpec != "" && eng != server.EngineAdaptive {
+		return fmt.Errorf("-adaptive requires -engine adaptive (got %s)", eng)
+	}
+	aspec, err := adaptive.ParseSpec(*adaptiveSpec)
 	if err != nil {
 		return err
 	}
@@ -115,7 +126,7 @@ func run(args []string, ready chan<- string) error {
 
 	srv, err := server.New(server.Config{
 		Shards: *shards, Queue: *queue, Batch: *batch,
-		Engine: eng, N: *n, T: *t, Model: m,
+		Engine: eng, Adaptive: aspec, N: *n, T: *t, Model: m,
 		Coalesce: mode, Seed: *seed,
 		Faults:   planPtr,
 		Retry:    netsim.RetryPolicy{Disabled: *noretry, MaxAttempts: *attempts},

@@ -1,0 +1,62 @@
+package adaptive
+
+import (
+	"testing"
+)
+
+// FuzzParseAdaptiveSpec checks that ParseSpec never panics and that every
+// accepted spec is canonical: normalization is idempotent, the canonical
+// rendering re-parses to the identical Spec, and the parsed values are
+// inside their documented domains.
+func FuzzParseAdaptiveSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"adaptive",
+		"adaptive:window=8,hysteresis=2",
+		"adaptive:window=inf",
+		"adaptive:hysteresis=inf,start=sa",
+		"adaptive:decay=0.25,start=da,region=off",
+		"window=64,hysteresis=4,decay=0,start=auto,region=on",
+		"adaptive:window=1,hysteresis=1,decay=0.999",
+		"adaptive:color=red",
+		"bogus:window=8",
+		"adaptive:decay=1e-300",
+		"adaptive:window=9999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if (s.Window < 1 && s.Window != Disabled) || (s.Hysteresis < 1 && s.Hysteresis != Disabled) {
+			t.Fatalf("ParseSpec(%q) accepted out-of-domain counts: %+v", in, s)
+		}
+		if s.Window > maxWindow {
+			t.Fatalf("ParseSpec(%q) accepted oversized window: %+v", in, s)
+		}
+		if !(s.Decay >= 0 && s.Decay < 1) {
+			t.Fatalf("ParseSpec(%q) accepted out-of-domain decay: %+v", in, s)
+		}
+		switch s.Start {
+		case "sa", "da", "auto":
+		default:
+			t.Fatalf("ParseSpec(%q) accepted unknown start: %+v", in, s)
+		}
+		norm := s
+		if err := norm.Normalize(); err != nil {
+			t.Fatalf("ParseSpec(%q) returned un-normalizable spec %+v: %v", in, s, err)
+		}
+		if norm != s {
+			t.Fatalf("ParseSpec(%q) not normalized: %+v vs %+v", in, s, norm)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("canonical %q of ParseSpec(%q) does not re-parse: %v", s.String(), in, err)
+		}
+		if back != s {
+			t.Fatalf("canonical round trip of %q: %+v != %+v", in, back, s)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package adaptive implements an online allocation controller that switches
+// an object between the paper's two protocols — read-one-write-all Static
+// Allocation (SA, §4.2.1) and Dynamic Allocation (DA, §4.2.2) — while the
+// object is being served.
+//
+// Neither protocol dominates: the winner depends on where the cost model
+// lands in the (cd, cc) plane of figures 1 and 2 and on the read/write mix
+// of the workload. The controller first applies the paper's analytic region
+// test; when the bounds decide the point, the winning protocol is pinned
+// and the controller is indistinguishable from it. In the unknown region it
+// keeps a sliding-window estimate of the object's access pattern, prices
+// the window under both protocols with the exact §3.2 charge formulas, and
+// switches when the estimate has favored the other protocol for a
+// hysteresis run of consecutive requests. Every switch is billed through
+// cost.TransitionCounts — replica installs and invalidations at paper
+// prices — so adaptive cost is directly comparable to pure SA, pure DA and
+// the offline optimum. The regret harness in this package measures exactly
+// those ratios.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Defaults used when the corresponding Spec field is zero.
+const (
+	// DefaultWindow is the sliding-window length in requests.
+	DefaultWindow = 64
+	// DefaultHysteresis is the number of consecutive requests the window
+	// estimate must favor the other protocol before the controller
+	// switches.
+	DefaultHysteresis = 4
+)
+
+// Disabled is the sentinel for "never": a Spec with Window or Hysteresis
+// set to Disabled pins the controller to its starting protocol. The spec
+// string spells it "inf".
+const Disabled = -1
+
+// Spec configures one adaptive controller. The zero value selects the
+// defaults (window 64, hysteresis 4, no decay, automatic start, region
+// test enabled); Normalize resolves them.
+type Spec struct {
+	// Window is the sliding-window length in requests. Zero selects
+	// DefaultWindow; Disabled (spec string "inf") turns adaptation off
+	// entirely, pinning the starting protocol.
+	Window int
+	// Hysteresis is how many consecutive requests the window estimate
+	// must favor the other protocol before a switch. Zero selects
+	// DefaultHysteresis; Disabled ("inf") means never switch.
+	Hysteresis int
+	// Decay in [0, 1) exponentially discounts older window entries: after
+	// each request every entry's weight is multiplied by 1−Decay, so a
+	// departing entry weighs (1−Decay)^Window. Zero keeps plain counts.
+	Decay float64
+	// Start names the protocol the controller begins with: "sa", "da",
+	// or "auto" (the region test's winner when decisive, otherwise DA —
+	// the paper's recommendation wherever it is competitive). Empty means
+	// "auto".
+	Start string
+	// IgnoreRegion skips the figure 1/2 analytic region test, forcing
+	// the controller to adapt from measurements even where the paper's
+	// bounds already decide the point. Spec string key: region=off.
+	IgnoreRegion bool
+}
+
+// Normalize validates the spec and resolves defaults in place: zero Window
+// and Hysteresis become DefaultWindow and DefaultHysteresis, negative
+// values collapse to Disabled, and Start is lower-cased with "" meaning
+// "auto".
+func (s *Spec) Normalize() error {
+	if s.Window == 0 {
+		s.Window = DefaultWindow
+	}
+	if s.Window < 0 {
+		s.Window = Disabled
+	}
+	if s.Hysteresis == 0 {
+		s.Hysteresis = DefaultHysteresis
+	}
+	if s.Hysteresis < 0 {
+		s.Hysteresis = Disabled
+	}
+	if s.Window > 0 && s.Window > maxWindow {
+		return fmt.Errorf("adaptive: window %d exceeds maximum %d", s.Window, maxWindow)
+	}
+	if math.IsNaN(s.Decay) || s.Decay < 0 || s.Decay >= 1 {
+		return fmt.Errorf("adaptive: decay %g outside [0, 1)", s.Decay)
+	}
+	s.Start = strings.ToLower(strings.TrimSpace(s.Start))
+	switch s.Start {
+	case "":
+		s.Start = "auto"
+	case "auto", "sa", "da":
+	default:
+		return fmt.Errorf("adaptive: unknown start protocol %q (want sa, da or auto)", s.Start)
+	}
+	return nil
+}
+
+// maxWindow bounds the ring buffer so a hostile spec string cannot ask for
+// an absurd per-object allocation.
+const maxWindow = 1 << 20
+
+// Pinned reports whether the spec disables switching outright (infinite
+// window or infinite hysteresis). A pinned controller behaves exactly like
+// its starting protocol. Call Normalize first.
+func (s Spec) Pinned() bool { return s.Window == Disabled || s.Hysteresis == Disabled }
+
+// String renders the spec in the canonical compact form accepted by
+// ParseSpec, e.g. "adaptive:window=64,hysteresis=4,decay=0,start=auto,region=on".
+func (s Spec) String() string {
+	inf := func(v int) string {
+		if v == Disabled {
+			return "inf"
+		}
+		return strconv.Itoa(v)
+	}
+	region := "on"
+	if s.IgnoreRegion {
+		region = "off"
+	}
+	start := s.Start
+	if start == "" {
+		start = "auto"
+	}
+	return fmt.Sprintf("adaptive:window=%s,hysteresis=%s,decay=%s,start=%s,region=%s",
+		inf(s.Window), inf(s.Hysteresis), strconv.FormatFloat(s.Decay, 'g', -1, 64), start, region)
+}
+
+// ParseSpec parses the compact textual controller specification the CLIs
+// accept, in the same shape as workload.FromSpec:
+//
+//	adaptive[:key=value[,key=value...]]
+//
+// The leading "adaptive" name is optional when the string contains no
+// colon, so both "adaptive:window=8,hysteresis=2" and "window=8" parse.
+// Keys (all optional):
+//
+//	window      sliding-window length in requests; "inf" disables adaptation
+//	hysteresis  consecutive requests before a switch; "inf" means never
+//	decay       exponential decay of window entries, in [0, 1)
+//	start       starting protocol: sa, da, auto
+//	region      on (default) applies the figure 1/2 region test; off skips it
+//
+// An empty string yields the normalized zero Spec (all defaults). The
+// returned Spec is normalized.
+func ParseSpec(spec string) (Spec, error) {
+	body := strings.TrimSpace(spec)
+	if i := strings.IndexByte(body, ':'); i >= 0 {
+		name := strings.ToLower(strings.TrimSpace(body[:i]))
+		if name != "adaptive" {
+			return Spec{}, fmt.Errorf("adaptive: unknown controller %q in spec %q", name, spec)
+		}
+		body = body[i+1:]
+	} else if strings.EqualFold(body, "adaptive") {
+		body = ""
+	}
+
+	params := map[string]string{}
+	if body != "" {
+		for _, kv := range strings.Split(body, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" {
+				return Spec{}, fmt.Errorf("adaptive: malformed parameter %q in spec %q", kv, spec)
+			}
+			key := strings.ToLower(strings.TrimSpace(parts[0]))
+			if _, dup := params[key]; dup {
+				return Spec{}, fmt.Errorf("adaptive: duplicate parameter %q in spec %q", key, spec)
+			}
+			params[key] = strings.TrimSpace(parts[1])
+		}
+	}
+
+	var s Spec
+	used := map[string]bool{}
+	intOrInf := func(key string) (int, error) {
+		used[key] = true
+		raw, ok := params[key]
+		if !ok {
+			return 0, nil
+		}
+		if strings.EqualFold(raw, "inf") {
+			return Disabled, nil
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("adaptive: bad %s=%q in spec %q (want a positive integer or \"inf\")", key, raw, spec)
+		}
+		return v, nil
+	}
+	var err error
+	if s.Window, err = intOrInf("window"); err != nil {
+		return Spec{}, err
+	}
+	if s.Hysteresis, err = intOrInf("hysteresis"); err != nil {
+		return Spec{}, err
+	}
+	used["decay"] = true
+	if raw, ok := params["decay"]; ok {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
+			return Spec{}, fmt.Errorf("adaptive: bad decay=%q in spec %q (want a value in [0, 1))", raw, spec)
+		}
+		s.Decay = v
+	}
+	used["start"] = true
+	s.Start = params["start"]
+	used["region"] = true
+	if raw, ok := params["region"]; ok {
+		switch strings.ToLower(raw) {
+		case "on":
+		case "off":
+			s.IgnoreRegion = true
+		default:
+			return Spec{}, fmt.Errorf("adaptive: bad region=%q in spec %q (want on or off)", raw, spec)
+		}
+	}
+	var unknown []string
+	for key := range params {
+		if !used[key] {
+			unknown = append(unknown, key)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return Spec{}, fmt.Errorf("adaptive: unknown parameter %q in spec %q", unknown[0], spec)
+	}
+	if err := s.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

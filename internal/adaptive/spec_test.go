@@ -1,0 +1,102 @@
+package adaptive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	for _, in := range []string{"", "adaptive", "adaptive:", "ADAPTIVE"} {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		want := Spec{Window: DefaultWindow, Hysteresis: DefaultHysteresis, Start: "auto"}
+		if s != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", in, s, want)
+		}
+	}
+}
+
+func TestParseSpecFields(t *testing.T) {
+	s, err := ParseSpec("adaptive:window=8,hysteresis=2,decay=0.1,start=SA,region=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Window: 8, Hysteresis: 2, Decay: 0.1, Start: "sa", IgnoreRegion: true}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+	// The prefix is optional when there is no colon... but key=value
+	// pairs contain no colon either, so bare bodies parse too.
+	s2, err := ParseSpec("window=8,hysteresis=2,decay=0.1,start=sa,region=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != want {
+		t.Fatalf("bare body: got %+v, want %+v", s2, want)
+	}
+}
+
+func TestParseSpecInf(t *testing.T) {
+	s, err := ParseSpec("adaptive:window=inf,hysteresis=INF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Window != Disabled || s.Hysteresis != Disabled || !s.Pinned() {
+		t.Fatalf("inf spec not pinned: %+v", s)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus:window=8",             // unknown controller name
+		"adaptive:window=0",          // zero window is not a valid literal
+		"adaptive:window=-3",         // negative literal
+		"adaptive:window=x",          // non-numeric
+		"adaptive:decay=1",           // decay must be < 1
+		"adaptive:decay=-0.1",        // negative decay
+		"adaptive:decay=NaN",         // NaN decay
+		"adaptive:start=quorum",      // unknown protocol
+		"adaptive:region=maybe",      // bad region toggle
+		"adaptive:color=red",         // unknown key
+		"adaptive:window",            // missing value
+		"adaptive:=8",                // missing key
+		"adaptive:window=8,window=9", // duplicate key
+	} {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", in)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, s := range []Spec{
+		{},
+		{Window: 8, Hysteresis: 2},
+		{Window: Disabled},
+		{Hysteresis: Disabled, Start: "sa"},
+		{Decay: 0.25, Start: "da", IgnoreRegion: true},
+	} {
+		if err := s.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip %q: got %+v, want %+v", s.String(), back, s)
+		}
+	}
+}
+
+func TestNormalizeRejectsHugeWindow(t *testing.T) {
+	s := Spec{Window: maxWindow + 1}
+	if err := s.Normalize(); err == nil {
+		t.Fatal("expected error for oversized window")
+	}
+	if _, err := ParseSpec("adaptive:window=99999999"); err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("expected window error, got %v", err)
+	}
+}

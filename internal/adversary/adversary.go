@@ -67,6 +67,36 @@ func PingPong(writer, reader model.ProcessorID, rounds int) model.Schedule {
 	return sched
 }
 
+// MixFlip alternates two phases that punish the two paper protocols in
+// turn, the nemesis of any policy pinned for the run:
+//
+//   - a run of phase reads from a processor outside the initial allocation
+//     scheme — SA pays a remote read (cc + cd + cio) for every one of them
+//     while DA installs a local copy once and reads locally thereafter
+//     (Proposition 1's pattern);
+//   - phase requests alternating a write from a scheme member with a read
+//     from the same outsider — DA wastes a save-then-invalidate cycle per
+//     round while SA's fixed scheme is exactly right.
+//
+// Each of the flips iterations appends one read phase followed by one
+// write phase. A controller whose estimation window is shorter than phase
+// can track the flips and beat both fixed protocols despite paying for its
+// switches; a fixed protocol is wrong half the time.
+func MixFlip(reader, writer model.ProcessorID, phase, flips int) model.Schedule {
+	var sched model.Schedule
+	for f := 0; f < flips; f++ {
+		sched = append(sched, workload.ReadRun(reader, phase)...)
+		for i := 0; i < phase; i++ {
+			if i%2 == 0 {
+				sched = append(sched, model.W(writer))
+			} else {
+				sched = append(sched, model.R(reader))
+			}
+		}
+	}
+	return sched
+}
+
 // ConvergentPunisher defeats window-based adaptive algorithms: it issues
 // just enough reads from a processor to make it replicate, then switches to
 // writes from elsewhere so the fresh replica only costs invalidations, and

@@ -156,6 +156,28 @@ func StepCost(m Model, st model.Step, scheme model.Set) float64 {
 	return StepCounts(st, scheme).Price(m)
 }
 
+// TransitionCounts is the integer charge accounting of moving the
+// allocation scheme from `from` to `to` outside any request — the price an
+// adaptive controller pays to switch protocols. The accounting uses the
+// same §3.2 primitives as StepCounts:
+//
+//   - every processor of to \ from must be installed: one request control
+//     message, one transmission of the object, and one output at its local
+//     database (exactly a remote saving-read's marginal charges);
+//   - every processor of from \ to holds a copy that becomes obsolete: one
+//     invalidate control message (exactly a write's invalidation charge).
+//
+// A transition within the same scheme (from == to) is free.
+func TransitionCounts(from, to model.Set) Counts {
+	installs := to.Diff(from).Size()
+	invalidates := from.Diff(to).Size()
+	return Counts{
+		Control: installs + invalidates,
+		Data:    installs,
+		IO:      installs,
+	}
+}
+
 // ScheduleCounts returns the total integer accounting of an allocation
 // schedule executed from the given initial allocation scheme, together with
 // per-step counts. COST(I, τ) of the paper is ScheduleCounts(...).Price(m).

@@ -406,3 +406,37 @@ func TestCostGoldenTable(t *testing.T) {
 		}
 	}
 }
+
+func TestTransitionCounts(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to model.Set
+		want     Counts
+	}{
+		{
+			"same scheme is free",
+			model.NewSet(0, 1), model.NewSet(0, 1),
+			Counts{},
+		},
+		{
+			"pure install: one new replica",
+			model.NewSet(0, 1), model.NewSet(0, 1, 4),
+			Counts{Control: 1, Data: 1, IO: 1},
+		},
+		{
+			"pure invalidation: two joined copies dropped",
+			model.NewSet(0, 1, 4, 5), model.NewSet(0, 1),
+			Counts{Control: 2},
+		},
+		{
+			"mixed: drop one, install one",
+			model.NewSet(0, 1, 4), model.NewSet(0, 1, 5),
+			Counts{Control: 2, Data: 1, IO: 1},
+		},
+	}
+	for _, c := range cases {
+		if got := TransitionCounts(c.from, c.to); got != c.want {
+			t.Errorf("%s: TransitionCounts(%v, %v) = %v, want %v", c.name, c.from, c.to, got, c.want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package dom
 import (
 	"fmt"
 
+	"objalloc/internal/cost"
 	"objalloc/internal/model"
 )
 
@@ -32,6 +33,56 @@ type Algorithm interface {
 	// Scheme returns the current allocation scheme (after all steps taken
 	// so far; initially the initial allocation scheme).
 	Scheme() model.Set
+}
+
+// Transition records one protocol switch performed by an adaptive
+// controller between two online steps: the scheme moved from the old
+// protocol's allocation scheme to the new protocol's starting scheme, and
+// the replica installs and invalidations that realize the move are billed
+// through cost.TransitionCounts — switches are paid for, never free.
+type Transition struct {
+	// Step is the number of requests serviced before the switch (the
+	// switch takes effect before request index Step of the schedule).
+	Step int
+	// From and To name the protocols, e.g. "DA" -> "SA".
+	From, To string
+	// Counts is the integer accounting of the switch's replica installs
+	// and invalidations.
+	Counts cost.Counts
+}
+
+// Transitioner is an optional Algorithm extension implemented by adaptive
+// controllers that switch the underlying protocol between steps. Callers
+// that price schedules step by step (package multiobject, the adaptive
+// regret harness) must add the transition counts to the per-step
+// accounting; cost.ScheduleCounts alone under-bills a Transitioner.
+type Transitioner interface {
+	Algorithm
+	// Transitions returns every switch performed so far, in step order.
+	// The returned slice is owned by the algorithm; callers must not
+	// modify it.
+	Transitions() []Transition
+}
+
+// WindowStat is a live snapshot of an adaptive controller's workload
+// estimate, surfaced for observability (the server's policy_window
+// events).
+type WindowStat struct {
+	// Reads and Writes are the (possibly decay-weighted) read and write
+	// masses currently in the sliding window.
+	Reads, Writes float64
+	// Protocol names the protocol currently serving requests.
+	Protocol string
+	// Adapting reports whether the controller may still switch; a pinned
+	// controller (switching disabled, or the paper's region test already
+	// decided the point) behaves exactly like the pure protocol.
+	Adapting bool
+}
+
+// MixReporter is an optional Algorithm extension exposing the live
+// workload-mix estimate behind an adaptive controller's decisions.
+type MixReporter interface {
+	WindowStat() WindowStat
 }
 
 // Factory creates a fresh Algorithm instance for a run starting from the

@@ -42,10 +42,11 @@ type DB struct {
 }
 
 type object struct {
-	alg      dom.Algorithm
-	initial  model.Set
-	counts   cost.Counts
-	requests int
+	alg       dom.Algorithm
+	initial   model.Set
+	counts    cost.Counts
+	requests  int
+	seenTrans int
 }
 
 // Stats summarizes one object's lifetime.
@@ -55,6 +56,13 @@ type Stats struct {
 	Counts   cost.Counts
 	Cost     float64
 	Scheme   model.Set
+	// Transitions lists the protocol switches an adaptive algorithm
+	// performed for this object (nil for fixed protocols). Their counts
+	// are already folded into Counts and Cost.
+	Transitions []dom.Transition
+	// Window is the live workload-mix estimate when the algorithm
+	// reports one (dom.MixReporter), nil otherwise.
+	Window *dom.WindowStat
 }
 
 // Open creates an empty database.
@@ -93,6 +101,15 @@ func (db *DB) Apply(name string, q model.Request) (float64, error) {
 	scheme := o.alg.Scheme()
 	step := o.alg.Step(q)
 	c := cost.StepCounts(step, scheme)
+	// An adaptive algorithm may have switched protocols after servicing
+	// the request; the switch's replica installs and invalidations are
+	// billed with the request that triggered it.
+	if tr, ok := o.alg.(dom.Transitioner); ok {
+		ts := tr.Transitions()
+		for ; o.seenTrans < len(ts); o.seenTrans++ {
+			c = c.Add(ts[o.seenTrans].Counts)
+		}
+	}
 	o.counts = o.counts.Add(c)
 	o.requests++
 	return c.Price(db.cfg.Model), nil
@@ -153,11 +170,19 @@ func (db *DB) AllStats() []Stats {
 }
 
 func (db *DB) statsLocked(name string, o *object) Stats {
-	return Stats{
+	st := Stats{
 		Name:     name,
 		Requests: o.requests,
 		Counts:   o.counts,
 		Cost:     o.counts.Price(db.cfg.Model),
 		Scheme:   o.alg.Scheme(),
 	}
+	if tr, ok := o.alg.(dom.Transitioner); ok {
+		st.Transitions = tr.Transitions()
+	}
+	if mr, ok := o.alg.(dom.MixReporter); ok {
+		w := mr.WindowStat()
+		st.Window = &w
+	}
+	return st
 }

@@ -29,6 +29,12 @@ const (
 	// directory engines; the per-shard object count is capped
 	// (Config.MaxHAObjects).
 	EngineHA
+	// EngineAdaptive manages every object with the online adaptive
+	// controller over the analytic multi-object directory: each object's
+	// read/write mix is estimated over a sliding window and the object is
+	// switched between SA and DA live, with protocol transitions billed
+	// at paper prices. Configured via Config.Adaptive.
+	EngineAdaptive
 )
 
 // String implements fmt.Stringer.
@@ -40,12 +46,14 @@ func (e Engine) String() string {
 		return "sa"
 	case EngineHA:
 		return "ha"
+	case EngineAdaptive:
+		return "adaptive"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
 }
 
-// ParseEngine parses an engine name: "da", "sa" or "ha".
+// ParseEngine parses an engine name: "da", "sa", "ha" or "adaptive".
 func ParseEngine(s string) (Engine, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "da", "":
@@ -54,8 +62,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineSA, nil
 	case "ha":
 		return EngineHA, nil
+	case "adaptive":
+		return EngineAdaptive, nil
 	default:
-		return 0, fmt.Errorf("server: unknown engine %q (want da, sa or ha)", s)
+		return 0, fmt.Errorf("server: unknown engine %q (want da, sa, ha or adaptive)", s)
 	}
 }
 

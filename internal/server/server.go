@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"objalloc/internal/adaptive"
 	"objalloc/internal/cost"
 	"objalloc/internal/dom"
 	"objalloc/internal/model"
@@ -60,9 +61,13 @@ type Config struct {
 	// Batch caps the number of requests coalesced into one service
 	// round; fewer than 1 means 64.
 	Batch int
-	// Engine selects the per-shard engine: EngineDA (default), EngineSA
-	// or EngineHA.
+	// Engine selects the per-shard engine: EngineDA (default), EngineSA,
+	// EngineHA or EngineAdaptive.
 	Engine Engine
+	// Adaptive configures the EngineAdaptive controller (window,
+	// hysteresis, decay, start protocol, region test). The zero value
+	// selects the adaptive defaults; ignored by the other engines.
+	Adaptive adaptive.Spec
 	// N is the number of processors; fewer than 1 means 4.
 	N int
 	// T is the availability threshold; fewer than 1 means 2.
@@ -160,6 +165,11 @@ func (cfg *Config) Normalize() error {
 		if cfg.Engine == EngineHA {
 			return fmt.Errorf("server: coalescing requires a directory engine (da or sa)")
 		}
+		if cfg.Engine == EngineAdaptive {
+			// Coalesced reads never reach the engine, so the controller's
+			// sliding window would miss them and mis-estimate the mix.
+			return fmt.Errorf("server: coalescing is incompatible with the adaptive engine (coalesced reads bypass the controller's window)")
+		}
 		cfg.coalesce = true
 	case CoalesceOff:
 		cfg.coalesce = false
@@ -170,8 +180,15 @@ func (cfg *Config) Normalize() error {
 		t := cfg.T
 		cfg.Placement = func(string) model.Set { return model.FullSet(t) }
 	}
+	if err := cfg.Adaptive.Normalize(); err != nil {
+		return err
+	}
 	if cfg.Factory == nil && cfg.Engine != EngineHA {
-		cfg.Factory = factoryFor(cfg.Engine)
+		if cfg.Engine == EngineAdaptive {
+			cfg.Factory = adaptive.Factory(cfg.Model, cfg.Adaptive)
+		} else {
+			cfg.Factory = factoryFor(cfg.Engine)
+		}
 	}
 	return nil
 }
@@ -395,6 +412,7 @@ func (s *Server) finalize() {
 		dups += sh.dups.Load()
 	}
 	costMilli := o.Histogram("server.object_cost_milli", 0, 100, 300, 1000, 3000, 10000, 30000, 100000)
+	var switches int64
 	for _, st := range all {
 		counts = counts.Add(st.Counts)
 		costMilli.Observe(int64(st.Cost * 1000))
@@ -404,6 +422,35 @@ func (s *Server) finalize() {
 			obs.Int64("cost_milli", int64(st.Cost*1000)),
 			obs.Uint64("scheme", uint64(st.Scheme)),
 		}})
+		// Adaptive-engine visibility: one policy_switch event per
+		// protocol transition and one policy_window snapshot per still-
+		// adapting object, in the same sorted object order. A pinned or
+		// fixed-protocol object emits neither, so its event stream is
+		// byte-identical to the pure protocol's.
+		for _, tr := range st.Transitions {
+			switches++
+			o.Emit(obs.Event{Name: "policy_switch", Attrs: []obs.Attr{
+				obs.String("object", st.Name),
+				obs.Int("step", tr.Step),
+				obs.String("from", tr.From),
+				obs.String("to", tr.To),
+				obs.Int64("cost_milli", int64(tr.Counts.Price(s.cfg.Model)*1000)),
+			}})
+		}
+		if w := st.Window; w != nil && w.Adapting {
+			o.Emit(obs.Event{Name: "policy_window", Attrs: []obs.Attr{
+				obs.String("object", st.Name),
+				obs.String("protocol", w.Protocol),
+				obs.Float("reads", w.Reads),
+				obs.Float("writes", w.Writes),
+				obs.Int("switches", len(st.Transitions)),
+			}})
+		}
+	}
+	// The switch counter is registered only when a switch happened, so a
+	// pinned adaptive run's registry snapshot matches the pure protocol's.
+	if switches > 0 {
+		o.Counter("server.policy_switches").Add(switches)
 	}
 	o.Counter("server.objects").Add(int64(len(all)))
 	o.Counter("server.requests").Add(int64(completed))

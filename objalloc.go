@@ -34,6 +34,8 @@ import (
 	"math/rand"
 	"time"
 
+	"objalloc/internal/adaptive"
+	"objalloc/internal/adversary"
 	"objalloc/internal/advisor"
 	"objalloc/internal/baseline"
 	"objalloc/internal/cache"
@@ -171,6 +173,92 @@ func KThresholdFactory(k int) Factory { return baseline.KThresholdFactory(k) }
 
 // Run feeds a schedule through an algorithm's online steps.
 func Run(alg Algorithm, sched Schedule) AllocSchedule { return dom.Run(alg, sched) }
+
+// ---- Adaptive allocation controller ----
+//
+// The adaptive controller estimates each object's read/write mix over a
+// sliding window and switches the object between SA and DA live, billing
+// protocol transitions (copy installs and invalidations) at paper
+// prices. It is the online answer to the paper's figures 1 and 2: where
+// the cost model alone decides the winner the controller pins to it; in
+// the contested region it follows the observed workload. The sharded
+// service runs it per object as ServerEngineAdaptive.
+
+// AdaptiveSpec tunes the controller: window length, switch hysteresis,
+// exponential decay, starting protocol and the analytic region test. The
+// zero value means the defaults (window 64, hysteresis 4, start auto,
+// region test on).
+type AdaptiveSpec = adaptive.Spec
+
+// AdaptiveController is the window-estimating SA/DA switcher; it
+// implements Algorithm plus Transitions, WindowStat and Estimates.
+type AdaptiveController = adaptive.Controller
+
+// AlgorithmTransition records one live protocol switch: the step that
+// triggered it, the protocols involved, and the billed transition
+// counts.
+type AlgorithmTransition = dom.Transition
+
+// Transitioner is implemented by algorithms that switch protocols
+// mid-schedule and expose the billed transitions.
+type Transitioner = dom.Transitioner
+
+// AdaptiveWindowStat is a controller's sliding-window snapshot: decayed
+// read/write mass, the protocol in force, and whether it is adapting.
+type AdaptiveWindowStat = dom.WindowStat
+
+// ParseAdaptiveSpec parses the compact controller syntax, e.g.
+// "adaptive:window=8,hysteresis=2,decay=0.1,start=auto,region=on" (the
+// "adaptive:" prefix is optional). AdaptiveSpec.String is its inverse.
+func ParseAdaptiveSpec(s string) (AdaptiveSpec, error) { return adaptive.ParseSpec(s) }
+
+// NewAdaptive returns an adaptive controller for one object.
+func NewAdaptive(m CostModel, spec AdaptiveSpec, initial Set, t int) (*AdaptiveController, error) {
+	return adaptive.New(m, spec, initial, t)
+}
+
+// AdaptiveFactory is the Factory form of NewAdaptive.
+func AdaptiveFactory(m CostModel, spec AdaptiveSpec) Factory { return adaptive.Factory(m, spec) }
+
+// TransitionCounts prices a protocol switch from one allocation scheme
+// to another: installs (to minus from) cost a control message, a data
+// message and an I/O each; invalidations (from minus to) a control
+// message each.
+func TransitionCounts(from, to Set) Counts { return cost.TransitionCounts(from, to) }
+
+// AdaptiveRunCost executes a schedule through an algorithm and returns
+// its total cost including any protocol-transition bills, the combined
+// counts, and the number of switches. For a plain Algorithm it agrees
+// with ScheduleCost.
+func AdaptiveRunCost(m CostModel, alg Algorithm, sched Schedule) (float64, Counts, int) {
+	return adaptive.RunCost(m, alg, sched)
+}
+
+// AdaptiveCase is one named schedule of a regret evaluation.
+type AdaptiveCase = adaptive.Case
+
+// AdaptiveRegretSpec configures a regret evaluation: the adaptive
+// controller against both pure protocols and the offline optimum over a
+// battery of schedules (adversarial mix flips plus seeded workloads by
+// default). Zero Parallelism means DefaultParallelism.
+type AdaptiveRegretSpec = adaptive.RegretSpec
+
+// AdaptiveRegretPoint is one case's outcome: the four costs, the switch
+// count, and the vs-OPT / vs-best-fixed ratios.
+type AdaptiveRegretPoint = adaptive.RegretPoint
+
+// AdaptiveContext runs the regret evaluation on the parallel engine.
+// Results are in case order and byte-identical to a serial run of the
+// same seed; cancelling the context aborts the remaining cases.
+func AdaptiveContext(ctx context.Context, spec AdaptiveRegretSpec) ([]AdaptiveRegretPoint, error) {
+	return adaptive.Regret(ctx, spec)
+}
+
+// MixFlipSchedule is the adaptive controller's adversary: alternating
+// read-heavy and write-heavy phases that punish any fixed protocol.
+func MixFlipSchedule(reader, writer ProcessorID, phase, flips int) Schedule {
+	return adversary.MixFlip(reader, writer, phase, flips)
+}
 
 // ---- Offline optimum and competitiveness (§4.1) ----
 

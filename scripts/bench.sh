@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — the repo's perf trajectory: run every root benchmark (one
+# per evaluated figure/claim, plus the microbenchmarks and the adaptive
+# server) with fixed -benchtime/-count and write the results as
+# BENCH_objalloc.json at the repo root, so successive PRs can diff both
+# the timings and the reported experiment metrics. Run from the repo
+# root, normally via `make bench`. Override with BENCHTIME=... COUNT=...
+# OUT=... for ad-hoc runs.
+set -eu
+
+benchtime="${BENCHTIME:-100ms}"
+count="${COUNT:-1}"
+out="${OUT:-BENCH_objalloc.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" . | tee "$raw"
+
+# Each benchmark line is "BenchmarkName  iters  value unit  value unit ...";
+# fold the value/unit pairs into a metrics object per benchmark.
+awk -v benchtime="$benchtime" -v count="$count" -v goversion="$(go env GOVERSION)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics "\"" $(i+1) "\": " $i
+    }
+    entries[n++] = "    {\"name\": \"" name "\", \"iterations\": " $2 ", \"metrics\": {" metrics "}}"
+}
+END {
+    print "{"
+    print "  \"go\": \"" goversion "\","
+    print "  \"cpu\": \"" cpu "\","
+    print "  \"benchtime\": \"" benchtime "\","
+    print "  \"count\": " count ","
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) print entries[i] (i < n - 1 ? "," : "")
+    print "  ]"
+    print "}"
+}' "$raw" >"$out"
+
+echo "bench: wrote $out ($(grep -c '"name"' "$out") benchmark runs)"

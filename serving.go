@@ -10,7 +10,9 @@ import (
 //
 // The server package turns the multi-object directory into a
 // long-running service: objects are hashed to independent shards, each
-// shard runs its own allocation engine (SA, DA or executed HA clusters)
+// shard runs its own allocation engine (SA, DA, executed HA clusters,
+// or the online adaptive SA/DA controller — ServerEngineAdaptive,
+// configured via ServerConfig.Adaptive)
 // behind a batched mailbox with admission control, and a graceful drain
 // completes every accepted request before shutdown. The objallocd daemon
 // (cmd/objallocd) serves this over HTTP; loadgen (cmd/loadgen) replays
@@ -36,9 +38,10 @@ type ServerEngine = server.Engine
 
 // Server engines.
 const (
-	ServerEngineDA = server.EngineDA
-	ServerEngineSA = server.EngineSA
-	ServerEngineHA = server.EngineHA
+	ServerEngineDA       = server.EngineDA
+	ServerEngineSA       = server.EngineSA
+	ServerEngineHA       = server.EngineHA
+	ServerEngineAdaptive = server.EngineAdaptive
 )
 
 // CoalesceMode controls the service's read coalescing.
@@ -62,7 +65,8 @@ var ErrServerDraining = server.ErrDraining
 // NewServer starts the sharded allocation service.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
-// ParseServerEngine parses an engine name: "da", "sa" or "ha".
+// ParseServerEngine parses an engine name: "da", "sa", "ha" or
+// "adaptive".
 func ParseServerEngine(s string) (ServerEngine, error) { return server.ParseEngine(s) }
 
 // ServerHandler returns the service's HTTP API (POST /v1/batch,
