@@ -4,12 +4,14 @@
 # runs the observability determinism tests under the race detector.
 # fuzzsmoke gives each committed fuzz target a 10-second budget,
 # serve-smoke boots the service daemon under real load and asserts a
-# clean zero-loss drain, and staticcheck runs when the tool is installed
-# (it is skipped gracefully otherwise — the build must not depend on
-# network access).
-.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke staticcheck chaos profile
+# clean zero-loss drain, trace-smoke checks end-to-end request tracing
+# (schema-valid spans, exact cost reconciliation, byte-identical
+# deterministic traces across shard counts), and staticcheck runs when
+# the tool is installed (it is skipped gracefully otherwise — the build
+# must not depend on network access).
+.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke trace-smoke staticcheck chaos profile
 
-verify: build vet test race obscheck fuzzsmoke serve-smoke staticcheck
+verify: build vet test race obscheck fuzzsmoke serve-smoke trace-smoke staticcheck
 
 build:
 	go build ./...
@@ -41,6 +43,9 @@ fuzzsmoke:
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -27,6 +27,7 @@ import (
 	"objalloc/internal/opt"
 	"objalloc/internal/server"
 	"objalloc/internal/sim"
+	"objalloc/internal/tracing"
 	"objalloc/internal/workload"
 )
 
@@ -684,4 +685,47 @@ func BenchmarkSweepParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServerTraced quantifies the request-tracing overhead on the
+// sharded server's hot path. "off" is the PR's acceptance baseline (a nil
+// tracer must cost only nil checks — within 2% of the untraced server),
+// "deterministic" adds span construction with zeroed clocks, "wallclock"
+// adds monotonic timestamps per stage, and "sampled1pct" shows tail
+// sampling discarding the span cost for unflagged requests.
+func BenchmarkServerTraced(b *testing.B) {
+	run := func(b *testing.B, tr *tracing.Tracer, wantSpans bool) {
+		s, err := server.New(server.Config{
+			Shards: 4, Queue: 1024, N: 8, T: 3, Trace: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var names [64]string
+		for i := range names {
+			names[i] = fmt.Sprintf("obj-%d", i)
+		}
+		q := model.R(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Do(names[i&63], q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		s.Drain()
+		if wantSpans && tr.Len() == 0 {
+			b.Fatal("tracer recorded no spans")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil, false) })
+	b.Run("deterministic", func(b *testing.B) {
+		run(b, tracing.New(tracing.Config{Deterministic: true, MaxSpans: 1 << 24}), true)
+	})
+	b.Run("wallclock", func(b *testing.B) {
+		run(b, tracing.New(tracing.Config{MaxSpans: 1 << 24}), true)
+	})
+	b.Run("sampled1pct", func(b *testing.B) {
+		run(b, tracing.New(tracing.Config{SampleRate: 0.01, MaxSpans: 1 << 24}), false)
+	})
 }

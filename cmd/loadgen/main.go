@@ -9,10 +9,18 @@
 //	        [-objects 64] [-workers 4] [-requests 10000] [-duration 0]
 //	        [-batch 32] [-seed 1]
 //	loadgen -inproc [-shards 8] [-engine da] [-adaptive window=8] ...
-//	        (same workload flags)
+//	        [-trace out.jsonl] [-trace-deterministic] (same workload flags)
 //
 // Both paths report throughput, per-batch latency, and end-to-end
 // per-request latency percentiles (p50/p90/p99/max).
+//
+// Every HTTP batch carries a traceparent header derived
+// deterministically from (seed, worker, per-worker batch sequence), so
+// a tracing objallocd parents its spans under reproducible client trace
+// IDs. In-process runs can trace directly: -trace hands the server a
+// tracer and writes the canonical trace JSONL after the drain, and
+// -trace-deterministic zeroes the wall-clock fields so same-seed files
+// are byte-identical at any -shards/-workers.
 //
 // Workers own disjoint object partitions (object index mod workers), so
 // each object's requests stay on one sequential path — the service's
@@ -36,6 +44,7 @@ import (
 	"objalloc/internal/cost"
 	"objalloc/internal/model"
 	"objalloc/internal/server"
+	"objalloc/internal/tracing"
 	"objalloc/internal/workload"
 )
 
@@ -76,6 +85,8 @@ func run(args []string) error {
 		cc         = fs.Float64("cc", 0.25, "in-process server: control-message cost")
 		cd         = fs.Float64("cd", 1, "in-process server: data-message cost")
 		mobile     = fs.Bool("mobile", false, "in-process server: mobile model")
+		traceFile  = fs.String("trace", "", "in-process server: write request trace spans to this JSONL file")
+		traceDet   = fs.Bool("trace-deterministic", false, "in-process server: zero wall-clock trace fields (same-seed traces byte-identical at any -shards/-workers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +99,9 @@ func run(args []string) error {
 	}
 	if *workers > *objects {
 		*workers = *objects
+	}
+	if (*traceFile != "" || *traceDet) && !*inproc {
+		return fmt.Errorf("-trace and -trace-deterministic require -inproc (against HTTP, trace on the daemon with objallocd -trace)")
 	}
 
 	var do func(worker int, reqs []server.WireRequest) (int, bool, error)
@@ -116,8 +130,13 @@ func run(args []string) error {
 		if *mobile {
 			m = cost.MC(*cc, *cd)
 		}
+		var tracer *tracing.Tracer
+		if *traceFile != "" {
+			tracer = tracing.New(tracing.Config{Deterministic: *traceDet})
+		}
 		srv, err := server.New(server.Config{
 			Shards: *shards, Queue: *queue, Engine: eng, Adaptive: aspec, N: *n, T: *t, Model: m,
+			Seed: *seed, Trace: tracer,
 		})
 		if err != nil {
 			return err
@@ -154,13 +173,37 @@ func run(args []string) error {
 			}
 			log.Printf("in-process server: %d accepted, %d completed, %d objects, cost %.1f",
 				st.Accepted, st.Complete, st.Objects, st.Cost)
+			if tracer != nil {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					return fmt.Errorf("trace file: %w", err)
+				}
+				lines, werr := tracer.WriteTo(f)
+				if serr := f.Sync(); werr == nil {
+					werr = serr
+				}
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return fmt.Errorf("trace file: %w", werr)
+				}
+				log.Printf("trace: %d lines written to %s", lines, *traceFile)
+			}
 			return nil
 		}
 	} else {
 		client := &server.Client{Base: "http://" + *addr}
-		do = func(_ int, reqs []server.WireRequest) (int, bool, error) {
+		// Each batch carries a traceparent derived from (seed, worker,
+		// per-worker batch sequence); workers touch only their own slot,
+		// so no locking. A tracing daemon parents its spans under these
+		// reproducible client IDs.
+		batchSeq := make([]uint64, *workers)
+		do = func(w int, reqs []server.WireRequest) (int, bool, error) {
+			sc := tracing.DeriveRequest(*seed, fmt.Sprintf("loadgen-w%d", w), batchSeq[w])
+			batchSeq[w]++
 			t0 := time.Now()
-			resp, err := client.Batch(reqs)
+			resp, err := client.BatchTraced(sc, reqs)
 			if err != nil {
 				return 0, false, err
 			}
@@ -272,8 +315,9 @@ func run(args []string) error {
 		completed, elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds(), cnt.overloads.Load())
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		fmt.Printf("batch latency: p50 %s  p99 %s  max %s\n",
+		fmt.Printf("batch latency: p50 %s  p90 %s  p99 %s  max %s\n",
 			latencies[len(latencies)/2].Round(time.Microsecond),
+			latencies[len(latencies)*90/100].Round(time.Microsecond),
 			latencies[len(latencies)*99/100].Round(time.Microsecond),
 			latencies[len(latencies)-1].Round(time.Microsecond))
 	}

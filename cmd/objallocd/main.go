@@ -13,8 +13,16 @@
 //	          [-attempts 0] [-seed 0] [-journal dir]
 //	          [-addr 127.0.0.1:0] [-addrfile path] [-statsfile path]
 //	          [-draintimeout 30s] [-metrics out.jsonl] [-pprof addr]
+//	          [-trace out.jsonl] [-trace-deterministic] [-trace-sample 1]
 //
-// The HTTP API is POST /v1/batch, GET /v1/stats and GET /v1/healthz.
+// The HTTP API is POST /v1/batch (with optional traceparent
+// propagation), GET /v1/stats, GET /v1/metrics (Prometheus text) and
+// GET /v1/healthz. With -trace the daemon records request-scoped spans
+// (admission, queue wait, engine service, billed protocol transitions)
+// and writes the canonical trace JSONL on drain;
+// -trace-deterministic zeroes the wall-clock fields so same-seed trace
+// files are byte-identical at any -shards (see cmd/traceview for the
+// analyzer).
 // On SIGTERM or SIGINT the daemon drains gracefully: accepted requests
 // complete, new ones are refused, journals are flushed and fsynced, the
 // final stats are printed to stdout, and the process exits nonzero if
@@ -40,6 +48,7 @@ import (
 	"objalloc/internal/netsim"
 	"objalloc/internal/obs"
 	"objalloc/internal/server"
+	"objalloc/internal/tracing"
 )
 
 func main() {
@@ -78,6 +87,9 @@ func run(args []string, ready chan<- string) error {
 		drainTimeout = fs.Duration("draintimeout", 30*time.Second, "max time to wait for the graceful drain")
 		metrics      = fs.String("metrics", "", "write instrumentation events and a final registry snapshot to this JSONL file")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar on this address")
+		traceFile    = fs.String("trace", "", "write request trace spans to this JSONL file on drain")
+		traceDet     = fs.Bool("trace-deterministic", false, "zero wall-clock trace fields (same-seed traces byte-identical at any -shards)")
+		traceSample  = fs.Float64("trace-sample", 1, "tail-sampling rate for unflagged requests (flagged ones are always kept)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +136,13 @@ func run(args []string, ready chan<- string) error {
 	}
 	defer cli.Close()
 
+	var tracer *tracing.Tracer
+	if *traceFile != "" {
+		tracer = tracing.New(tracing.Config{Deterministic: *traceDet, SampleRate: *traceSample})
+	} else if *traceDet || *traceSample != 1 {
+		return fmt.Errorf("-trace-deterministic and -trace-sample require -trace")
+	}
+
 	srv, err := server.New(server.Config{
 		Shards: *shards, Queue: *queue, Batch: *batch,
 		Engine: eng, Adaptive: aspec, N: *n, T: *t, Model: m,
@@ -131,7 +150,8 @@ func run(args []string, ready chan<- string) error {
 		Faults:   planPtr,
 		Retry:    netsim.RetryPolicy{Disabled: *noretry, MaxAttempts: *attempts},
 		Journal:  *journal, MaxHAObjects: *maxHAObjects,
-		Obs: cli.Obs(),
+		Obs:   cli.Obs(),
+		Trace: tracer,
 	})
 	if err != nil {
 		return err
@@ -180,6 +200,24 @@ func run(args []string, ready chan<- string) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	hs.Shutdown(shutdownCtx)
+
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		n, werr := tracer.WriteTo(f)
+		if serr := f.Sync(); werr == nil {
+			werr = serr
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace file: %w", werr)
+		}
+		log.Printf("trace: %d lines written to %s", n, *traceFile)
+	}
 
 	st := srv.Stats()
 	out, err := json.MarshalIndent(st, "", "  ")

@@ -1,0 +1,209 @@
+// Command traceview analyzes a trace JSONL file written by a tracing
+// objallocd or loadgen run (package tracing): it reconciles the billed
+// cost reconstructed from spans against the engine's summary line,
+// prints the slowest requests with their critical-path decomposition
+// (admission vs queue-wait vs service vs transition cost), the
+// per-shard latency breakdown, and an ASCII queue-depth timeline per
+// shard.
+//
+// Usage:
+//
+//	traceview [-top 5] [-buckets 40] [-check] trace.jsonl
+//
+// With -check the exit status is nonzero when the trace fails schema
+// validation or, on a fully-sampled trace, when the span-reconstructed
+// cost and message/I/O counts do not equal the engine totals exactly —
+// the trace-smoke gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"objalloc/internal/tracing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceview: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceview", flag.ContinueOnError)
+	var (
+		top     = fs.Int("top", 5, "slowest requests to print")
+		buckets = fs.Int("buckets", 40, "queue-depth timeline windows per shard")
+		check   = fs.Bool("check", false, "exit nonzero unless the trace parses and reconciles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceview [-top n] [-buckets n] [-check] trace.jsonl")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	a, err := tracing.Parse(f)
+	if err != nil {
+		return err
+	}
+
+	printSummary(a)
+	recErr := a.Reconcile()
+	printReconciliation(a, recErr)
+	printSlowest(a, *top)
+	printShards(a, *buckets)
+
+	if *check {
+		if recErr != nil {
+			return recErr
+		}
+		if len(a.Spans) == 0 {
+			return fmt.Errorf("trace contains no spans")
+		}
+	}
+	return nil
+}
+
+func printSummary(a *tracing.Analysis) {
+	fmt.Printf("trace: %d spans, %d requests\n", len(a.Spans), len(a.Requests))
+	if s := a.Summary; s != nil {
+		fmt.Printf("engine: %s — %d requests over %d objects, cost %s (ctl %d, data %d, io %d)\n",
+			s.Engine, s.Requests, s.Objects, costStr(s.CostMilli), s.Control, s.Data, s.IO)
+		fmt.Printf("sampling: %d/%d requests kept", s.Sampled, s.Seen)
+		if s.DroppedSpans > 0 {
+			fmt.Printf(", %d spans dropped at the buffer cap", s.DroppedSpans)
+		}
+		fmt.Println()
+	}
+}
+
+func printReconciliation(a *tracing.Analysis, recErr error) {
+	switch {
+	case recErr != nil:
+		fmt.Printf("reconciliation: FAIL — %v\n", recErr)
+	case !a.FullySampled():
+		fmt.Printf("reconciliation: skipped (partial trace; span cost %s is a lower bound)\n",
+			costStr(a.SpanCostMilli()))
+	default:
+		ctl, data, io := a.SpanCounts()
+		fmt.Printf("reconciliation: OK — span cost %s == engine total (ctl %d, data %d, io %d)\n",
+			costStr(a.SpanCostMilli()), ctl, data, io)
+	}
+}
+
+func printSlowest(a *tracing.Analysis, top int) {
+	slow := a.Slowest(top)
+	if len(slow) == 0 {
+		return
+	}
+	wall := hasWall(a)
+	if wall {
+		fmt.Printf("\nslowest %d requests (critical path):\n", len(slow))
+	} else {
+		fmt.Printf("\ntop %d requests by cost (deterministic trace, no wall clocks):\n", len(slow))
+	}
+	for _, rv := range slow {
+		var transMilli int64
+		for _, tr := range rv.Transitions {
+			transMilli += tr.CostMilli
+		}
+		line := fmt.Sprintf("  %s %s/%d %s", rv.Trace[:8], rv.Object, rv.Seq, rv.Op)
+		if wall {
+			line += fmt.Sprintf("  total %-10s admission %-10s queue %-10s service %-10s",
+				ns(rv.TotalNS), ns(rv.AdmissionNS), ns(rv.QueueNS), ns(rv.ServiceNS))
+		}
+		line += fmt.Sprintf("  cost %s", costStr(rv.CostMilli))
+		if transMilli > 0 {
+			line += fmt.Sprintf(" (switches %d, %s)", len(rv.Transitions), costStr(transMilli))
+		}
+		if rv.Retransmits > 0 {
+			line += fmt.Sprintf("  retrans %d", rv.Retransmits)
+		}
+		if rv.Outcome != "" {
+			line += "  [" + rv.Outcome + "]"
+		}
+		fmt.Println(line)
+	}
+}
+
+func printShards(a *tracing.Analysis, buckets int) {
+	shards := a.ByShard()
+	if len(shards) == 0 {
+		return
+	}
+	wall := hasWall(a)
+	fmt.Printf("\nper-shard breakdown:\n")
+	for _, sb := range shards {
+		name := fmt.Sprintf("shard %d", sb.Shard)
+		if sb.Shard == -1 {
+			name = "shard — (normalized)"
+		}
+		line := fmt.Sprintf("  %-22s %6d requests", name, sb.Requests)
+		if wall {
+			line += fmt.Sprintf("  queue-wait %-10s service %-10s queue share %4.1f%%  mean depth %.1f",
+				ns(sb.QueueNS), ns(sb.ServiceNS), 100*sb.QueueShare(),
+				float64(sb.DepthSum)/float64(sb.Requests))
+		}
+		fmt.Println(line)
+	}
+	if !wall {
+		return
+	}
+	for _, sb := range shards {
+		tl := a.DepthTimeline(sb.Shard, buckets)
+		if tl == nil {
+			continue
+		}
+		fmt.Printf("\nshard %d queue depth over time:\n  ", sb.Shard)
+		maxD := 0.0
+		for _, d := range tl {
+			if d > maxD {
+				maxD = d
+			}
+		}
+		glyphs := " ▁▂▃▄▅▆▇█"
+		var b strings.Builder
+		for _, d := range tl {
+			switch {
+			case d < 0:
+				b.WriteByte('.')
+			case maxD == 0:
+				b.WriteRune('▁')
+			default:
+				i := 1 + int(d/maxD*float64(len([]rune(glyphs))-2))
+				b.WriteRune([]rune(glyphs)[i])
+			}
+		}
+		fmt.Printf("%s  (peak mean %.1f)\n", b.String(), maxD)
+	}
+}
+
+// hasWall reports whether the trace carries wall clocks (any nonzero
+// root duration); deterministic traces do not.
+func hasWall(a *tracing.Analysis) bool {
+	for _, rv := range a.Requests {
+		if rv.TotalNS > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func costStr(milli int64) string {
+	return fmt.Sprintf("%.3f", float64(milli)/1000)
+}
+
+func ns(v int64) string {
+	return time.Duration(v).Round(time.Microsecond).String()
+}

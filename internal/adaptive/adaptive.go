@@ -137,9 +137,14 @@ func (c *Controller) Scheme() model.Set { return c.inner.Scheme() }
 // Transitions implements dom.Transitioner.
 func (c *Controller) Transitions() []dom.Transition { return c.trans }
 
+// Protocol names the protocol currently in force ("SA" or "DA") — the
+// value request tracing stamps on spans so a traced adaptive run shows
+// which protocol actually serviced each request.
+func (c *Controller) Protocol() string { return c.inner.Name() }
+
 // WindowStat implements dom.MixReporter.
 func (c *Controller) WindowStat() dom.WindowStat {
-	st := dom.WindowStat{Protocol: c.inner.Name(), Adapting: !c.pinned}
+	st := dom.WindowStat{Protocol: c.Protocol(), Adapting: !c.pinned}
 	for _, v := range c.readMass {
 		st.Reads += v
 	}

@@ -83,9 +83,28 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{cfg: cfg, objects: make(map[string]*object)}, nil
 }
 
+// Detail is one request's itemized outcome: its billed cost, the
+// message/I/O counts behind it, any protocol transitions the request
+// triggered (already folded into Counts and Cost), and the protocol in
+// force after the request when the algorithm reports one. The tracing
+// layer turns this into per-request spans.
+type Detail struct {
+	Cost        float64
+	Counts      cost.Counts
+	Transitions []dom.Transition
+	Protocol    string
+}
+
 // Apply services one request against the named object, creating the object
 // (at its placement) on first touch, and returns the request's cost.
 func (db *DB) Apply(name string, q model.Request) (float64, error) {
+	d, err := db.ApplyDetail(name, q)
+	return d.Cost, err
+}
+
+// ApplyDetail services one request like Apply but returns the itemized
+// outcome rather than just the priced cost.
+func (db *DB) ApplyDetail(name string, q model.Request) (Detail, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	o, ok := db.objects[name]
@@ -93,7 +112,7 @@ func (db *DB) Apply(name string, q model.Request) (float64, error) {
 		initial := db.cfg.Placement(name)
 		alg, err := db.cfg.Factory(initial, db.cfg.T)
 		if err != nil {
-			return 0, fmt.Errorf("multiobject: create %q: %w", name, err)
+			return Detail{}, fmt.Errorf("multiobject: create %q: %w", name, err)
 		}
 		o = &object{alg: alg, initial: initial}
 		db.objects[name] = o
@@ -101,18 +120,27 @@ func (db *DB) Apply(name string, q model.Request) (float64, error) {
 	scheme := o.alg.Scheme()
 	step := o.alg.Step(q)
 	c := cost.StepCounts(step, scheme)
+	var d Detail
 	// An adaptive algorithm may have switched protocols after servicing
 	// the request; the switch's replica installs and invalidations are
 	// billed with the request that triggered it.
 	if tr, ok := o.alg.(dom.Transitioner); ok {
 		ts := tr.Transitions()
+		if o.seenTrans < len(ts) {
+			d.Transitions = append(d.Transitions, ts[o.seenTrans:]...)
+		}
 		for ; o.seenTrans < len(ts); o.seenTrans++ {
 			c = c.Add(ts[o.seenTrans].Counts)
 		}
 	}
+	if mr, ok := o.alg.(dom.MixReporter); ok {
+		d.Protocol = mr.WindowStat().Protocol
+	}
 	o.counts = o.counts.Add(c)
 	o.requests++
-	return c.Price(db.cfg.Model), nil
+	d.Counts = c
+	d.Cost = c.Price(db.cfg.Model)
+	return d, nil
 }
 
 // Read services a read of the named object issued by processor p.

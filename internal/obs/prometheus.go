@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exemplar is an OpenMetrics-style exemplar attached to a histogram's
+// +Inf bucket in the Prometheus exposition — typically the trace ID of
+// the slowest request observed, so a scrape links straight into the
+// trace file.
+type Exemplar struct {
+	// Labels are the exemplar's label pairs, e.g. {"trace_id", "4bf9…"}.
+	Labels [][2]string
+	// Value is the exemplared observation (in the metric's unit).
+	Value float64
+}
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name under the given namespace: dots and any other character
+// outside [a-zA-Z0-9_:] become underscores.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	b.Grow(len(namespace) + 1 + len(name))
+	if namespace != "" {
+		b.WriteString(namespace)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 && namespace == "" {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func writeExemplar(w io.Writer, ex Exemplar) {
+	fmt.Fprint(w, " # {")
+	for i, kv := range ex.Labels {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, "%s=%q", kv[0], kv[1])
+	}
+	fmt.Fprintf(w, "} %g\n", ex.Value)
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): each counter as a counter metric, each
+// histogram as cumulative le-labeled buckets plus _sum and _count.
+// Metric names are sanitized (dots → underscores) and prefixed with the
+// namespace. The exemplars map, keyed by the ORIGINAL registry metric
+// name, attaches an OpenMetrics-style exemplar to that histogram's
+// +Inf bucket line; nil attaches none. Snapshots render in sorted name
+// order, so two equal snapshots expose byte-identical text.
+func (s Snapshot) Prometheus(w io.Writer, namespace string, exemplars map[string]Exemplar) {
+	for _, c := range s.Counters {
+		name := promName(namespace, c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, c.Value)
+	}
+	for _, h := range s.Histograms {
+		name := promName(namespace, h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+		}
+		cum += h.Buckets[len(h.Buckets)-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d", name, cum)
+		if ex, ok := exemplars[h.Name]; ok {
+			writeExemplar(w, ex)
+		} else {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.requests").Add(7)
+	h := r.Histogram("server.request_latency_us", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	r.Snapshot().Prometheus(&b, "objalloc", map[string]Exemplar{
+		"server.request_latency_us": {Labels: [][2]string{{"trace_id", "abc123"}}, Value: 500},
+	})
+	want := `# TYPE objalloc_server_request_latency_us histogram
+objalloc_server_request_latency_us_bucket{le="10"} 1
+objalloc_server_request_latency_us_bucket{le="100"} 2
+objalloc_server_request_latency_us_bucket{le="+Inf"} 3 # {trace_id="abc123"} 500
+objalloc_server_request_latency_us_sum 555
+objalloc_server_request_latency_us_count 3
+`
+	got := b.String()
+	if !strings.HasPrefix(got, "# TYPE objalloc_server_requests counter\nobjalloc_server_requests 7\n") {
+		t.Fatalf("counter section wrong:\n%s", got)
+	}
+	if !strings.HasSuffix(got, want) {
+		t.Fatalf("histogram section wrong:\ngot:\n%s\nwant suffix:\n%s", got, want)
+	}
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"shard0.queue_depth": "ns_shard0_queue_depth",
+		"weird-name+x":       "ns_weird_name_x",
+		"ok_name:sub":        "ns_ok_name:sub",
+	} {
+		if got := promName("ns", in); got != want {
+			t.Fatalf("promName(ns, %q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promName("", "9lives"); got != "_9lives" {
+		t.Fatalf("leading digit not guarded: %q", got)
+	}
+}
+
+func TestPrometheusNoExemplarWithoutMap(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", 1).Observe(2)
+	var b strings.Builder
+	r.Snapshot().Prometheus(&b, "p", nil)
+	out := b.String()
+	if strings.Contains(out, "#") && strings.Contains(out, "{trace_id") {
+		t.Fatalf("unexpected exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `p_h_bucket{le="+Inf"} 1`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+}

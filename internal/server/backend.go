@@ -69,14 +69,26 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
+// applied is one request's itemized engine outcome: the priced cost,
+// the message/I/O counts behind it, any billed protocol transitions the
+// request triggered (folded into cost and counts already), and the
+// protocol in force afterwards — the raw material of a service span.
+type applied struct {
+	cost        float64
+	counts      cost.Counts
+	transitions []dom.Transition
+	protocol    string
+}
+
 // backend is one shard's object store: it services requests object by
 // object and accounts their cost. Backends are confined to their shard's
 // goroutine, so implementations need no locking of their own.
 type backend interface {
 	// apply services one request against the named object and returns its
-	// priced cost. An error reply (e.g. netsim.Unreachable from the HA
-	// engine's retry budget) still consumes the request deterministically.
-	apply(object string, q model.Request) (float64, error)
+	// itemized outcome. An error reply (e.g. netsim.Unreachable from the
+	// HA engine's retry budget) still consumes the request
+	// deterministically.
+	apply(object string, q model.Request) (applied, error)
 	// objects returns the number of distinct objects touched.
 	objects() int
 	// counts returns the accumulated cost accounting.
@@ -107,8 +119,9 @@ func newDirectoryBackend(cfg *Config) (backend, error) {
 	return &directoryBackend{db: db}, nil
 }
 
-func (b *directoryBackend) apply(object string, q model.Request) (float64, error) {
-	return b.db.Apply(object, q)
+func (b *directoryBackend) apply(object string, q model.Request) (applied, error) {
+	d, err := b.db.ApplyDetail(object, q)
+	return applied{cost: d.Cost, counts: d.Counts, transitions: d.Transitions, protocol: d.Protocol}, err
 }
 
 func (b *directoryBackend) objects() int               { return b.db.Objects() }
@@ -161,10 +174,10 @@ func (b *haBackend) object(name string) (*haObject, error) {
 	return o, nil
 }
 
-func (b *haBackend) apply(object string, q model.Request) (float64, error) {
+func (b *haBackend) apply(object string, q model.Request) (applied, error) {
 	o, err := b.object(object)
 	if err != nil {
-		return 0, err
+		return applied{}, err
 	}
 	var opErr error
 	if q.IsRead() {
@@ -182,7 +195,7 @@ func (b *haBackend) apply(object string, q model.Request) (float64, error) {
 	o.prev = now
 	o.requests++
 	o.counts = o.counts.Add(delta)
-	return delta.Price(b.cfg.Model), opErr
+	return applied{cost: delta.Price(b.cfg.Model), counts: delta}, opErr
 }
 
 func (b *haBackend) objects() int { return len(b.clusters) }

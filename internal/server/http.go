@@ -3,12 +3,20 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"objalloc/internal/model"
+	"objalloc/internal/obs"
+	"objalloc/internal/tracing"
 )
+
+// maxBatchBytes caps the POST /v1/batch body; larger bodies are
+// refused with 413 before any request is admitted.
+const maxBatchBytes = 8 << 20
 
 // WireRequest is one request on the wire.
 type WireRequest struct {
@@ -44,6 +52,15 @@ type BatchResponse struct {
 	Draining     bool         `json:"draining,omitempty"`
 }
 
+// StatsResponse is the body of GET /v1/stats: the typed operational
+// snapshot plus the ops registry — counters and histogram snapshots
+// (bucket bounds and counts), so operators get the latency and queue
+// shape here without scraping the Prometheus exposition.
+type StatsResponse struct {
+	Stats Stats        `json:"stats"`
+	Ops   obs.Snapshot `json:"ops"`
+}
+
 func parseOp(s string) (model.Request, bool) {
 	switch s {
 	case "r", "read":
@@ -57,20 +74,42 @@ func parseOp(s string) (model.Request, bool) {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/batch   — service a batch of requests in order
-//	GET  /v1/stats   — operational snapshot (Stats + ops metrics)
+//	POST /v1/batch   — service a batch of requests in order; an optional
+//	                   traceparent header ties the batch's spans to the
+//	                   caller's trace
+//	GET  /v1/stats   — operational snapshot (Stats + ops counters and
+//	                   histogram snapshots)
+//	GET  /v1/metrics — Prometheus text exposition of the ops registry
+//	                   (and, once drained, the deterministic accounting),
+//	                   with a slow-request exemplar trace ID when tracing
+//	                   is on
 //	GET  /v1/healthz — 200 while accepting, 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var parent tracing.SpanContext
+	if h := r.Header.Get("traceparent"); h != "" {
+		var err error
+		if parent, err = tracing.ParseTraceparent(h); err != nil {
+			http.Error(w, fmt.Sprintf("bad traceparent: %v", err), http.StatusBadRequest)
+			return
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
 	var body BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("bad batch: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -82,7 +121,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q.Processor = model.ProcessorID(wr.Processor)
-		res, err := s.Do(wr.Object, q)
+		res, err := s.DoTraced(wr.Object, q, parent)
 		if err != nil {
 			if ov, isOverload := err.(*Overloaded); isOverload {
 				resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
@@ -123,11 +162,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// A stats scrape opts the hot path into latency measurement, so the
+	// request-latency histogram fills from the first scrape onward.
+	s.measure.Store(true)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
-		Stats Stats `json:"stats"`
-		Ops   any   `json:"ops"`
-	}{s.Stats(), s.Ops()})
+	json.NewEncoder(w).Encode(StatsResponse{Stats: s.Stats(), Ops: s.Ops()})
+}
+
+// handleMetrics is the Prometheus text exposition: the ops registry
+// (queue depths, batch sizes, request latency) plus — once the drain
+// has finalized it — the deterministic accounting registry. When
+// tracing is on, the slowest sampled request's trace ID is attached to
+// the request-latency histogram as an exemplar.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.measure.Store(true)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var exemplars map[string]obs.Exemplar
+	if trace, durNS := s.cfg.Trace.Slowest(); durNS > 0 {
+		exemplars = map[string]obs.Exemplar{
+			"server.request_latency_us": {
+				Labels: [][2]string{{"trace_id", trace}},
+				Value:  float64(durNS) / 1e3,
+			},
+		}
+	}
+	s.Ops().Prometheus(w, "objalloc", exemplars)
+	if s.isFinal.Load() && s.cfg.Obs != nil && s.cfg.Obs.Registry != nil {
+		s.cfg.Obs.Registry.Snapshot().Prometheus(w, "objalloc", nil)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -158,11 +220,26 @@ func (c *Client) httpClient() *http.Client {
 // decodable body is returned as a normal BatchResponse (Done 0), not an
 // error — the caller inspects RetryAfterMS/Draining.
 func (c *Client) Batch(reqs []WireRequest) (BatchResponse, error) {
+	return c.BatchTraced(tracing.SpanContext{}, reqs)
+}
+
+// BatchTraced posts one batch under the given trace context, sent as a
+// traceparent header so the server's spans parent to the caller's
+// trace. A zero context sends no header.
+func (c *Client) BatchTraced(sc tracing.SpanContext, reqs []WireRequest) (BatchResponse, error) {
 	body, err := json.Marshal(BatchRequest{Requests: reqs})
 	if err != nil {
 		return BatchResponse{}, err
 	}
-	httpResp, err := c.httpClient().Post(c.Base+"/v1/batch", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return BatchResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
+	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
 		return BatchResponse{}, err
 	}
@@ -174,18 +251,66 @@ func (c *Client) Batch(reqs []WireRequest) (BatchResponse, error) {
 	return resp, nil
 }
 
+// BatchAll submits reqs end to end, honoring the server's admission
+// hints: after a partial batch it resubmits the unserviced tail
+// (preserving per-object order), sleeping out each Overloaded reply's
+// RetryAfter hint, for at most maxRetries overload rounds. It stops
+// early when the server is draining; the returned results cover the
+// requests actually serviced.
+func (c *Client) BatchAll(reqs []WireRequest, maxRetries int) ([]WireResult, error) {
+	var out []WireResult
+	retries := 0
+	for len(reqs) > 0 {
+		resp, err := c.Batch(reqs)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, resp.Results...)
+		reqs = reqs[resp.Done:]
+		if len(reqs) == 0 || resp.Draining {
+			break
+		}
+		if resp.Done == 0 || resp.RetryAfterMS > 0 {
+			if retries++; retries > maxRetries {
+				return out, fmt.Errorf("server: still overloaded after %d retries (%d requests unserviced)", maxRetries, len(reqs))
+			}
+			time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+		}
+	}
+	return out, nil
+}
+
 // Stats fetches the operational snapshot.
 func (c *Client) Stats() (Stats, error) {
+	full, err := c.StatsFull()
+	return full.Stats, err
+}
+
+// StatsFull fetches the operational snapshot together with the ops
+// registry (counters plus histogram bucket bounds and counts).
+func (c *Client) StatsFull() (StatsResponse, error) {
 	httpResp, err := c.httpClient().Get(c.Base + "/v1/stats")
 	if err != nil {
-		return Stats{}, err
+		return StatsResponse{}, err
 	}
 	defer httpResp.Body.Close()
-	var wrapper struct {
-		Stats Stats `json:"stats"`
+	var resp StatsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return StatsResponse{}, err
 	}
-	if err := json.NewDecoder(httpResp.Body).Decode(&wrapper); err != nil {
-		return Stats{}, err
+	return resp, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	httpResp, err := c.httpClient().Get(c.Base + "/v1/metrics")
+	if err != nil {
+		return "", err
 	}
-	return wrapper.Stats, nil
+	defer httpResp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(httpResp.Body); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
 }

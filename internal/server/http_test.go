@@ -1,0 +1,307 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"objalloc/internal/model"
+	"objalloc/internal/obs"
+	"objalloc/internal/tracing"
+)
+
+// TestBatchTraceparentValidation table-drives the traceparent header
+// handling: malformed values are rejected cleanly with 400 before any
+// request is admitted; valid and absent headers are accepted.
+func TestBatchTraceparentValidation(t *testing.T) {
+	s, err := New(Config{Shards: 1, N: 4, T: 2, Trace: tracing.New(tracing.Config{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	valid := tracing.DeriveRequest(1, "client", 0).Traceparent()
+	for _, tc := range []struct {
+		name   string
+		header string
+		status int
+	}{
+		{"absent", "", http.StatusOK},
+		{"valid", valid, http.StatusOK},
+		{"truncated", valid[:40], http.StatusBadRequest},
+		{"bad version", "99" + valid[2:], http.StatusBadRequest},
+		{"bad separators", strings.ReplaceAll(valid, "-", "_"), http.StatusBadRequest},
+		{"non-hex trace", valid[:3] + strings.Repeat("x", 32) + valid[35:], http.StatusBadRequest},
+		{"zero trace", valid[:3] + strings.Repeat("0", 32) + valid[35:], http.StatusBadRequest},
+		{"zero span", valid[:36] + strings.Repeat("0", 16) + valid[52:], http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch",
+				strings.NewReader(`{"requests":[{"object":"a","op":"r","processor":0}]}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.header != "" {
+				req.Header.Set("traceparent", tc.header)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+		})
+	}
+
+	st := s.Stats()
+	if st.Accepted != 2 {
+		t.Fatalf("accepted = %d, want 2 (absent + valid only)", st.Accepted)
+	}
+}
+
+// TestBatchBodyLimit checks an oversized batch body is refused with 413
+// before any request is admitted, and that a body just under the limit
+// still parses.
+func TestBatchBodyLimit(t *testing.T) {
+	s, err := New(Config{Shards: 1, N: 4, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One JSON document comfortably past the limit: the decoder must
+	// keep reading it and trip the MaxBytesReader.
+	entry := `{"object":"o","op":"r","processor":0},`
+	var big bytes.Buffer
+	big.WriteString(`{"requests":[`)
+	for big.Len() <= maxBatchBytes {
+		big.WriteString(entry)
+	}
+	big.WriteString(`{"object":"o","op":"r","processor":0}]}`)
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", &big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	if st := s.Stats(); st.Accepted != 0 {
+		t.Fatalf("oversized body admitted %d requests", st.Accepted)
+	}
+
+	c := &Client{Base: ts.URL}
+	ok, err := c.Batch([]WireRequest{{Object: "o", Op: "r", Processor: 0}})
+	if err != nil || ok.Done != 1 {
+		t.Fatalf("normal batch after rejection: %+v, %v", ok, err)
+	}
+}
+
+// TestClientBatchAllHonorsRetryHint stalls the single shard so its
+// 1-slot queue fills, then checks BatchAll resubmits the unserviced
+// tail after the server's Overloaded retry hint until everything
+// completes.
+func TestClientBatchAllHonorsRetryHint(t *testing.T) {
+	stall := make(chan struct{})
+	var once sync.Once
+	s, err := New(Config{
+		Shards: 1, Queue: 1, Batch: 1, N: 2, T: 1,
+		testBeforeRound: func(int) { <-stall },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the queue slot while the shard loop is stalled.
+	bgDone := make(chan struct{})
+	go func() {
+		defer close(bgDone)
+		s.Do("filler", model.R(0))
+	}()
+	for len(s.shards[0].mail) == 0 {
+		gosched()
+	}
+
+	// Release the stall only after the server has rejected at least one
+	// request, proving BatchAll really hit the overload path.
+	go func() {
+		for s.shards[0].rejected.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		once.Do(func() { close(stall) })
+	}()
+
+	c := &Client{Base: ts.URL}
+	reqs := []WireRequest{
+		{Object: "filler", Op: "r", Processor: 0},
+		{Object: "filler", Op: "w", Processor: 1},
+		{Object: "other", Op: "r", Processor: 0},
+	}
+	results, err := c.BatchAll(reqs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("BatchAll serviced %d/%d requests", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if r.Object != reqs[i].Object || r.Op != reqs[i].Op {
+			t.Fatalf("result %d = %+v out of order vs %+v", i, r, reqs[i])
+		}
+	}
+	<-bgDone
+	once.Do(func() { close(stall) })
+	s.Drain()
+	st := s.Stats()
+	if st.Rejected == 0 {
+		t.Fatal("retry test never triggered an overload")
+	}
+	if st.Accepted != st.Complete {
+		t.Fatalf("accepted %d != completed %d", st.Accepted, st.Complete)
+	}
+}
+
+// TestStatsIncludesHistograms checks GET /v1/stats carries the ops
+// registry's histogram snapshots (bucket bounds and counts).
+func TestStatsIncludesHistograms(t *testing.T) {
+	s, err := New(Config{Shards: 2, N: 4, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	if _, err := c.Batch([]WireRequest{{Object: "a", Op: "w", Processor: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Accepted != 1 {
+		t.Fatalf("stats accepted = %d, want 1", full.Stats.Accepted)
+	}
+	if len(full.Ops.Histograms) == 0 {
+		t.Fatal("/v1/stats carries no histogram snapshots")
+	}
+	var sawDepth bool
+	for _, h := range full.Ops.Histograms {
+		if len(h.Bounds) == 0 || len(h.Buckets) != len(h.Bounds)+1 {
+			t.Fatalf("histogram %s has bounds/buckets %d/%d", h.Name, len(h.Bounds), len(h.Buckets))
+		}
+		if h.Name == "shard0.queue_depth" {
+			sawDepth = true
+		}
+	}
+	if !sawDepth {
+		t.Fatal("queue-depth histogram missing from /v1/stats")
+	}
+}
+
+// TestMetricsExposition checks GET /v1/metrics renders the Prometheus
+// text format, including the request-latency histogram (populated once
+// a scrape has armed wall-clock measurement) and, when tracing is on,
+// a slow-request exemplar trace ID.
+func TestMetricsExposition(t *testing.T) {
+	tr := tracing.New(tracing.Config{})
+	s, err := New(Config{
+		Shards: 1, N: 4, T: 2, Trace: tr,
+		Obs: &obs.Obs{Registry: obs.NewRegistry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	if _, err := c.Batch([]WireRequest{
+		{Object: "a", Op: "r", Processor: 0},
+		{Object: "a", Op: "w", Processor: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE objalloc_shard0_queue_depth histogram",
+		"objalloc_shard0_queue_depth_bucket{le=\"+Inf\"}",
+		"# TYPE objalloc_server_request_latency_us histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The tracer is non-deterministic and saw requests, so the latency
+	// histogram's +Inf line must carry an exemplar trace id.
+	if !strings.Contains(text, `trace_id="`) {
+		t.Fatalf("exposition missing exemplar:\n%s", text)
+	}
+
+	s.Drain()
+	text, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "objalloc_server_requests 2") {
+		t.Fatalf("post-drain exposition missing accounting counters:\n%s", text)
+	}
+}
+
+// TestMetricsHandlerWithoutObs covers the drained exposition when no
+// accounting registry is attached.
+func TestMetricsHandlerWithoutObs(t *testing.T) {
+	s, err := New(Config{Shards: 1, N: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Do("x", model.R(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "objalloc_shard0_queue_depth_count") {
+		t.Fatalf("ops histograms missing:\n%s", text)
+	}
+}
+
+func TestParseOpRejectsUnknown(t *testing.T) {
+	s, err := New(Config{Shards: 1, N: 2, T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"requests":[{"object":"a","op":"x","processor":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op status = %d, want 400", resp.StatusCode)
+	}
+}

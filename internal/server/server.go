@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"objalloc/internal/adaptive"
 	"objalloc/internal/cost"
@@ -31,6 +32,7 @@ import (
 	"objalloc/internal/multiobject"
 	"objalloc/internal/netsim"
 	"objalloc/internal/obs"
+	"objalloc/internal/tracing"
 )
 
 // CoalesceMode controls read coalescing: a repeat read by a processor
@@ -109,6 +111,14 @@ type Config struct {
 	// per-object events plus total counters and cost histograms. Nil
 	// disables it.
 	Obs *obs.Obs
+	// Trace receives request-scoped spans: admission, mailbox queueing,
+	// engine service, and billed protocol transitions, tied to the
+	// caller's trace context when one is propagated (DoTraced or the
+	// traceparent header on POST /v1/batch). Nil disables tracing; the
+	// hot path then pays only nil checks. A deterministic tracer zeroes
+	// every wall-clock field so same-seed trace files are byte-identical
+	// at any Shards/parallelism — see package tracing.
+	Trace *tracing.Tracer
 
 	coalesce bool // resolved by Normalize
 
@@ -217,6 +227,14 @@ type Server struct {
 	shards []*shard
 	ops    *obs.Registry // scheduling-dependent operational metrics
 
+	// latHist is the end-to-end request-latency histogram (microseconds)
+	// in the ops registry. It is populated only while measure is set —
+	// tracing with wall clocks on, or a /v1/metrics or /v1/stats scrape
+	// seen — so an unobserved hot path never reads the wall clock.
+	latHist   *obs.Histogram
+	measure   atomic.Bool
+	rejectSeq atomic.Uint64 // trace sequence for admission-rejected requests
+
 	mu       sync.RWMutex // admission guard: RLock to enqueue, Lock to drain
 	draining bool
 	drained  chan struct{}
@@ -231,6 +249,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, ops: obs.NewRegistry(), drained: make(chan struct{})}
+	s.latHist = s.ops.Histogram("server.request_latency_us",
+		50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 500000)
+	if cfg.Trace.Enabled() && !cfg.Trace.Deterministic() {
+		s.measure.Store(true)
+	}
 	if cfg.Journal != "" {
 		if err := os.MkdirAll(cfg.Journal, 0o755); err != nil {
 			return nil, fmt.Errorf("server: journal dir: %w", err)
@@ -285,6 +308,9 @@ func newShard(s *Server, id int, plan *netsim.FaultPlan) (*shard, error) {
 	if cfg.Engine != EngineHA && cfg.coalesce {
 		sh.fresh = make(map[string]model.Set)
 	}
+	if cfg.Trace.Enabled() {
+		sh.seq = make(map[string]uint64)
+	}
 	if cfg.Journal != "" {
 		sh.journal, err = openJournal(filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", id)))
 		if err != nil {
@@ -313,14 +339,32 @@ func (s *Server) shardOf(object string) *shard {
 // previous one returned). Requests for different objects may be issued
 // from any number of goroutines.
 func (s *Server) Do(object string, q model.Request) (Result, error) {
+	return s.DoTraced(object, q, tracing.SpanContext{})
+}
+
+// DoTraced is Do with a propagated trace context: the request's spans
+// (admission, queue, service, transitions) are recorded under the
+// parent's trace, matching what the HTTP layer does with a traceparent
+// header. A zero parent starts a fresh trace whose ID is derived
+// deterministically from (Config.Seed, object, per-object sequence).
+// Without a configured Config.Trace the parent is ignored.
+func (s *Server) DoTraced(object string, q model.Request, parent tracing.SpanContext) (Result, error) {
 	if object == "" {
 		return Result{}, fmt.Errorf("server: empty object name")
 	}
 	if q.Processor < 0 || int(q.Processor) >= s.cfg.N {
 		return Result{}, fmt.Errorf("server: processor %d outside [0,%d)", q.Processor, s.cfg.N)
 	}
+	var t0 time.Time
+	if s.measure.Load() {
+		t0 = time.Now()
+	}
 	sh := s.shardOf(object)
 	t := &task{object: object, req: q, done: make(chan Result, 1)}
+	tc := s.cfg.Trace
+	if tc.Enabled() {
+		t.tr = &reqTrace{parent: parent, start: tc.Now()}
+	}
 
 	s.mu.RLock()
 	if s.draining {
@@ -328,6 +372,14 @@ func (s *Server) Do(object string, q model.Request) (Result, error) {
 		return Result{}, ErrDraining
 	}
 	sh.accepted.Add(1)
+	if t.tr != nil {
+		// Stamped before the send: once the mailbox owns the task the
+		// shard loop may touch t.tr concurrently.
+		t.tr.enqueued = tc.Now()
+		if !tc.Deterministic() {
+			t.tr.queueLen = len(sh.mail)
+		}
+	}
 	select {
 	case sh.mail <- t:
 		s.mu.RUnlock()
@@ -336,15 +388,67 @@ func (s *Server) Do(object string, q model.Request) (Result, error) {
 		sh.accepted.Add(^uint64(0))
 		s.mu.RUnlock()
 		sh.rejected.Add(1)
-		return Result{}, &Overloaded{
+		ov := &Overloaded{
 			Shard:      sh.id,
 			QueueLen:   len(sh.mail),
 			QueueCap:   cap(sh.mail),
 			RetryAfter: retryAfter(sh.streak.Add(1)),
 		}
+		if t.tr != nil {
+			s.emitRejected(sh, t, ov)
+		}
+		return Result{}, ov
 	}
 	r := <-t.done
+	if !t0.IsZero() {
+		s.latHist.Observe(int64(time.Since(t0) / time.Microsecond))
+	}
 	return r, r.Err
+}
+
+// emitRejected records the span pair of an admission-rejected request.
+// Rejections depend on scheduling, so traces containing them are not
+// covered by the byte-identical guarantee; the tail sampler always
+// keeps them (that is the point of sampling overloads).
+func (s *Server) emitRejected(sh *shard, t *task, ov *Overloaded) {
+	tc := s.cfg.Trace
+	// Rejected requests never reach the shard's serial path, so they get
+	// sequence numbers from a separate high range, after every serviced
+	// request in the canonical sort.
+	seq := uint64(1)<<62 + s.rejectSeq.Add(1)
+	parentID := ""
+	var sc tracing.SpanContext
+	if t.tr.parent.Valid() {
+		sc = tracing.SpanContext{Trace: t.tr.parent.Trace, Span: tracing.ChildID(t.tr.parent, t.object, seq)}
+		parentID = t.tr.parent.Span.String()
+	} else {
+		sc = tracing.DeriveRequest(s.cfg.Seed, t.object, seq)
+	}
+	now := tc.Now()
+	trace, root := sc.Trace.String(), sc.Span.String()
+	shardID := sh.id
+	if tc.Deterministic() {
+		shardID = -1
+	}
+	op := "r"
+	if t.req.IsWrite() {
+		op = "w"
+	}
+	queueLen := 0
+	if !tc.Deterministic() {
+		queueLen = ov.QueueLen
+	}
+	tc.Submit(true, tracing.Span{
+		Trace: trace, Span: root, Parent: parentID, Name: tracing.NameRequest,
+		Object: t.object, Op: op, Proc: int(t.req.Processor), Seq: seq, Shard: shardID,
+		Engine: s.cfg.Engine.String(), Outcome: "overloaded",
+		StartNS: t.tr.start, DurNS: now - t.tr.start,
+	}, tracing.Span{
+		Trace: trace, Span: tracing.ChildID(sc, tracing.NameAdmission, 0).String(), Parent: root,
+		Name: tracing.NameAdmission, Object: t.object, Seq: seq, Shard: shardID,
+		QueueLen: queueLen, Outcome: "overloaded",
+		StartNS: t.tr.start, DurNS: now - t.tr.start,
+	})
 }
 
 // Drain gracefully shuts the pipeline down: new requests are refused
@@ -393,11 +497,13 @@ func (s *Server) Draining() bool {
 // finalize runs after every shard loop has exited; backends are
 // goroutine-confined to their shard loops, so this is the first moment
 // the server goroutine may touch them. It emits the deterministic
-// accounting: totals as counters, per-object stats as events sorted by
-// object name — identical streams for any Shards setting.
+// accounting — totals as counters, per-object stats as events sorted by
+// object name, identical streams for any Shards setting — and hands the
+// tracer its authoritative summary (every obs hook below is nil-safe,
+// so a trace-only run skips straight through them).
 func (s *Server) finalize() {
 	o := s.cfg.Obs
-	if !o.Enabled() {
+	if !o.Enabled() && !s.cfg.Trace.Enabled() {
 		return
 	}
 	all := s.allStats()
@@ -461,6 +567,15 @@ func (s *Server) finalize() {
 	o.Counter("server.msgs.control").Add(int64(counts.Control))
 	o.Counter("server.msgs.data").Add(int64(counts.Data))
 	o.Counter("server.io").Add(int64(counts.IO))
+	s.cfg.Trace.SetSummary(tracing.Summary{
+		Requests:  int64(completed),
+		Objects:   len(all),
+		Engine:    s.cfg.Engine.String(),
+		CostMilli: milli(counts.Price(s.cfg.Model)),
+		Control:   counts.Control,
+		Data:      counts.Data,
+		IO:        counts.IO,
+	})
 }
 
 // allStats merges per-object stats across shards, sorted by name. Only

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync/atomic"
@@ -12,6 +14,7 @@ import (
 	"objalloc/internal/multiobject"
 	"objalloc/internal/netsim"
 	"objalloc/internal/obs"
+	"objalloc/internal/tracing"
 )
 
 // task is one request in flight through a shard's pipeline.
@@ -19,7 +22,19 @@ type task struct {
 	object string
 	req    model.Request
 	done   chan Result
-	holds  int // rounds spent held by an injected delay
+	holds  int       // rounds spent held by an injected delay
+	tr     *reqTrace // tracing state; nil when tracing is off
+}
+
+// reqTrace is the per-task trace state threaded from admission to
+// finish: the caller's parent context plus the pipeline timestamps
+// (tracer clock; all zero in deterministic mode).
+type reqTrace struct {
+	parent   tracing.SpanContext
+	start    int64 // at submit
+	enqueued int64 // after the mailbox accepted the task
+	dequeued int64 // at the shard loop's first touch
+	queueLen int   // mailbox depth at enqueue (left 0 in deterministic mode)
 }
 
 // heldTask is a task held by an injected delay until a release round.
@@ -44,6 +59,7 @@ type shard struct {
 	blocked map[string][]*task
 	fresh   map[string]model.Set // processors holding a current copy (coalescing); nil = off
 	streams map[string]*uint64   // per-object fault stream states
+	seq     map[string]uint64    // per-object trace sequence numbers; nil when tracing is off
 	extra   cost.Counts          // retransmission billing (control messages)
 	journal *journalWriter
 
@@ -159,6 +175,12 @@ func (sh *shard) releaseHeld(t *task) {
 // released marks a task coming back from a delay hold, which skips the
 // (already drawn) delay fault and the blocked-object check.
 func (sh *shard) process(t *task, released bool) {
+	if t.tr != nil && t.tr.dequeued == 0 {
+		// First shard-loop touch: the queue span ends here. Time spent
+		// blocked behind a delay-held object or held by a delay counts
+		// toward service (annotated via holds).
+		t.tr.dequeued = sh.srv.cfg.Trace.Now()
+	}
 	if !released && sh.heldObj[t.object] {
 		// A delayed task owns this object; preserve per-object order.
 		sh.blocked[t.object] = append(sh.blocked[t.object], t)
@@ -203,7 +225,7 @@ func (sh *shard) process(t *task, released bool) {
 					Cost:        retransCost,
 					Retransmits: retransmits,
 					Err:         netsim.Unreachable{Peer: t.req.Processor},
-				})
+				}, applied{})
 				sh.unreach.Add(1)
 				return
 			}
@@ -217,10 +239,10 @@ func (sh *shard) process(t *task, released bool) {
 		// read is local and free under the mobile model.
 		sh.coalesced.Add(1)
 		sh.reads.Add(1)
-		sh.finish(t, Result{Object: t.object, Cost: retransCost, Coalesced: true, Retransmits: retransmits})
+		sh.finish(t, Result{Object: t.object, Cost: retransCost, Coalesced: true, Retransmits: retransmits}, applied{})
 		return
 	}
-	c, err := sh.be.apply(t.object, t.req)
+	a, err := sh.be.apply(t.object, t.req)
 	if sh.fresh != nil && err == nil {
 		if t.req.IsRead() {
 			// The saving read installed a copy at the reader.
@@ -235,17 +257,100 @@ func (sh *shard) process(t *task, released bool) {
 	} else {
 		sh.writes.Add(1)
 	}
-	sh.finish(t, Result{Object: t.object, Cost: c + retransCost, Retransmits: retransmits, Err: err})
+	sh.finish(t, Result{Object: t.object, Cost: a.cost + retransCost, Retransmits: retransmits, Err: err}, a)
 }
 
-// finish completes a task: journal, metrics, reply.
-func (sh *shard) finish(t *task, r Result) {
+// finish completes a task: journal, metrics, trace, reply.
+func (sh *shard) finish(t *task, r Result, a applied) {
 	sh.svcHist.Observe(int64(1 + t.holds))
 	if sh.journal != nil {
 		sh.journal.record(t, r)
 	}
+	if t.tr != nil {
+		sh.emitTrace(t, r, a)
+	}
 	sh.completed.Add(1)
 	t.done <- r
+}
+
+// milli converts a priced cost into integer milli-units, the span and
+// summary currency (rounded, so sums of per-request values reconcile
+// exactly against the engine total for the paper's cost models).
+func milli(c float64) int64 { return int64(math.Round(c * 1000)) }
+
+// emitTrace builds and submits the finished task's span tree: the
+// request root, its admission/queue/service children, and one
+// transition span per protocol switch the request triggered. Shard-
+// confined, so the per-object sequence numbers are deterministic.
+func (sh *shard) emitTrace(t *task, r Result, a applied) {
+	tc := sh.srv.cfg.Trace
+	seq := sh.seq[t.object]
+	sh.seq[t.object] = seq + 1
+	parentID := ""
+	var sc tracing.SpanContext
+	if t.tr.parent.Valid() {
+		sc = tracing.SpanContext{Trace: t.tr.parent.Trace, Span: tracing.ChildID(t.tr.parent, t.object, seq)}
+		parentID = t.tr.parent.Span.String()
+	} else {
+		sc = tracing.DeriveRequest(sh.srv.cfg.Seed, t.object, seq)
+	}
+	now := tc.Now()
+	trace, root := sc.Trace.String(), sc.Span.String()
+	shardID := sh.id
+	if tc.Deterministic() {
+		shardID = -1 // the assignment depends on the shard count
+	}
+	op := "r"
+	if t.req.IsWrite() {
+		op = "w"
+	}
+	outcome := ""
+	var unreach netsim.Unreachable
+	switch {
+	case errors.As(r.Err, &unreach):
+		outcome = "unreachable"
+	case r.Err != nil:
+		outcome = "error"
+	case r.Coalesced:
+		outcome = "coalesced"
+	}
+	engine := sh.srv.cfg.Engine.String()
+	spans := make([]tracing.Span, 0, 4+len(a.transitions))
+	spans = append(spans, tracing.Span{
+		Trace: trace, Span: root, Parent: parentID, Name: tracing.NameRequest,
+		Object: t.object, Op: op, Proc: int(t.req.Processor), Seq: seq, Shard: shardID,
+		Engine: engine, Protocol: a.protocol, CostMilli: milli(r.Cost),
+		Retransmits: r.Retransmits, Holds: t.holds, Outcome: outcome,
+		StartNS: t.tr.start, DurNS: now - t.tr.start,
+	}, tracing.Span{
+		Trace: trace, Span: tracing.ChildID(sc, tracing.NameAdmission, 0).String(), Parent: root,
+		Name: tracing.NameAdmission, Object: t.object, Seq: seq, Shard: shardID,
+		StartNS: t.tr.start, DurNS: t.tr.enqueued - t.tr.start,
+	}, tracing.Span{
+		Trace: trace, Span: tracing.ChildID(sc, tracing.NameQueue, 0).String(), Parent: root,
+		Name: tracing.NameQueue, Object: t.object, Seq: seq, Shard: shardID,
+		QueueLen: t.tr.queueLen,
+		StartNS:  t.tr.enqueued, DurNS: t.tr.dequeued - t.tr.enqueued,
+	})
+	svcID := tracing.ChildID(sc, tracing.NameService, 0).String()
+	spans = append(spans, tracing.Span{
+		Trace: trace, Span: svcID, Parent: root,
+		Name: tracing.NameService, Object: t.object, Seq: seq, Shard: shardID,
+		Engine: engine, Protocol: a.protocol, CostMilli: milli(r.Cost),
+		Control: a.counts.Control + r.Retransmits, Data: a.counts.Data, IO: a.counts.IO,
+		Retransmits: r.Retransmits, Holds: t.holds, Outcome: outcome,
+		StartNS: t.tr.dequeued, DurNS: now - t.tr.dequeued,
+	})
+	for i, dtr := range a.transitions {
+		spans = append(spans, tracing.Span{
+			Trace: trace, Span: tracing.ChildID(sc, tracing.NameTransition, uint64(i)).String(), Parent: svcID,
+			Name: tracing.NameTransition, Object: t.object, Seq: seq, Shard: shardID,
+			Engine: engine, From: dtr.From, To: dtr.To, Step: dtr.Step,
+			CostMilli: milli(dtr.Counts.Price(sh.srv.cfg.Model)),
+		})
+	}
+	flagged := r.Err != nil || r.Retransmits > 0 || len(a.transitions) > 0
+	tc.Submit(flagged, spans...)
 }
 
 // stream returns the object's fault stream state, seeding it on first

@@ -1,0 +1,101 @@
+#!/bin/sh
+# trace_smoke.sh — the request-tracing gate. Two halves:
+#
+#  1. HTTP path: boot objallocd with tracing on, drive it with loadgen
+#     (which stamps deterministic traceparent headers on every batch),
+#     SIGTERM, and check the daemon wrote a non-empty trace whose every
+#     line passes schema validation and whose spans reconcile exactly
+#     against the engine's summary (traceview -check).
+#  2. Determinism: two in-process loadgen runs with the same seed and
+#     workload but different shard counts, both under
+#     -trace-deterministic, must produce byte-identical trace files.
+#     (Worker-count invariance is asserted by the package test
+#     TestTraceDeterminismAcrossShardsAndWorkers, where per-object
+#     request order is held fixed by construction; loadgen's workload
+#     partitioning changes per-object streams with -workers.)
+#
+# Run from the repo root, normally via `make trace-smoke`.
+set -eu
+
+dir="$(mktemp -d)"
+daemon_pid=
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/objallocd" ./cmd/objallocd
+go build -o "$dir/loadgen" ./cmd/loadgen
+go build -o "$dir/traceview" ./cmd/traceview
+
+"$dir/objallocd" -shards 4 -queue 256 -seed 7 -addr 127.0.0.1:0 \
+    -addrfile "$dir/addr" -trace "$dir/http-trace.jsonl" \
+    >"$dir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$dir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "trace-smoke: daemon never bound an address" >&2
+        cat "$dir/daemon.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$dir/addr")"
+echo "trace-smoke: objallocd on $addr, tracing to http-trace.jsonl"
+
+"$dir/loadgen" -addr "$addr" -workers 4 -requests 2000 -batch 32 \
+    -objects 32 -workload uniform:n=8,pwrite=0.3 -seed 7
+
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+    echo "trace-smoke: daemon exited nonzero" >&2
+    cat "$dir/daemon.log" >&2 || true
+    exit 1
+fi
+daemon_pid=
+
+[ -s "$dir/http-trace.jsonl" ] || {
+    echo "trace-smoke: HTTP trace file is empty" >&2
+    exit 1
+}
+# traceview -check fails on any malformed line (schema) and on any
+# cost/count mismatch between the spans and the engine summary.
+"$dir/traceview" -check -top 3 "$dir/http-trace.jsonl" >"$dir/traceview.out" || {
+    echo "trace-smoke: traceview rejected the HTTP trace" >&2
+    cat "$dir/traceview.out" >&2 || true
+    exit 1
+}
+grep -q 'reconciliation: OK' "$dir/traceview.out" || {
+    echo "trace-smoke: HTTP trace did not reconcile" >&2
+    cat "$dir/traceview.out" >&2
+    exit 1
+}
+echo "trace-smoke: HTTP trace valid, $(wc -l <"$dir/http-trace.jsonl") lines, cost reconciles"
+
+# Determinism: same seed and workload at different shard counts must
+# produce byte-identical deterministic traces.
+"$dir/loadgen" -inproc -shards 1 -workers 4 -requests 1500 -objects 24 \
+    -workload uniform:n=8,pwrite=0.3 -seed 42 \
+    -trace "$dir/det-a.jsonl" -trace-deterministic >/dev/null 2>&1
+"$dir/loadgen" -inproc -shards 8 -workers 4 -requests 1500 -objects 24 \
+    -workload uniform:n=8,pwrite=0.3 -seed 42 \
+    -trace "$dir/det-b.jsonl" -trace-deterministic >/dev/null 2>&1
+
+cmp "$dir/det-a.jsonl" "$dir/det-b.jsonl" || {
+    echo "trace-smoke: deterministic traces differ across shard/worker counts" >&2
+    exit 1
+}
+[ -s "$dir/det-a.jsonl" ] || {
+    echo "trace-smoke: deterministic trace is empty" >&2
+    exit 1
+}
+"$dir/traceview" -check "$dir/det-a.jsonl" >/dev/null || {
+    echo "trace-smoke: deterministic trace failed validation" >&2
+    exit 1
+}
+
+echo "trace-smoke: OK — deterministic traces byte-identical ($(wc -l <"$dir/det-a.jsonl") lines)"

@@ -1,9 +1,11 @@
 package objalloc
 
 import (
+	"io"
 	"net/http"
 
 	"objalloc/internal/server"
+	"objalloc/internal/tracing"
 )
 
 // ---- Sharded allocation service ----
@@ -70,17 +72,66 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 func ParseServerEngine(s string) (ServerEngine, error) { return server.ParseEngine(s) }
 
 // ServerHandler returns the service's HTTP API (POST /v1/batch,
-// GET /v1/stats, GET /v1/healthz).
+// GET /v1/stats, GET /v1/metrics, GET /v1/healthz).
 func ServerHandler(s *Server) http.Handler { return s.Handler() }
 
 // ServerClient is a minimal client for the HTTP API.
 type ServerClient = server.Client
 
 // WireRequest and WireResult are the HTTP API's request/response items;
-// BatchRequest and BatchResponse frame them.
+// BatchRequest and BatchResponse frame them; StatsResponse is the
+// GET /v1/stats body (typed stats plus the ops registry's counters and
+// histogram snapshots).
 type (
 	WireRequest   = server.WireRequest
 	WireResult    = server.WireResult
 	BatchRequest  = server.BatchRequest
 	BatchResponse = server.BatchResponse
+	StatsResponse = server.StatsResponse
 )
+
+// ---- Request tracing ----
+//
+// A Tracer attached to ServerConfig.Trace records one small span tree
+// per request — admission wait, mailbox queue wait, engine service, and
+// one span per billed protocol transition — tied to the caller's trace
+// context when one is propagated (Server.DoTraced in process, or the
+// traceparent header on POST /v1/batch). Deterministic mode zeroes the
+// wall-clock fields so same-seed trace files are byte-identical at any
+// shard count and client parallelism. cmd/traceview analyzes the
+// resulting JSONL: critical-path decomposition, per-shard queue-wait
+// shares, and exact cost reconciliation from spans alone.
+
+// Tracer collects request spans and writes the canonical trace JSONL.
+type Tracer = tracing.Tracer
+
+// TraceConfig configures a Tracer (deterministic mode, tail-sampling
+// rate, span-buffer bound).
+type TraceConfig = tracing.Config
+
+// TraceSpan is one record of a trace file.
+type TraceSpan = tracing.Span
+
+// TraceSummary is the trace file's final line: the engine's
+// authoritative totals at drain.
+type TraceSummary = tracing.Summary
+
+// SpanContext identifies one position in one trace.
+type SpanContext = tracing.SpanContext
+
+// TraceAnalysis is a parsed trace file: spans, folded per-request
+// views, and the summary.
+type TraceAnalysis = tracing.Analysis
+
+// TraceRequestView is one request folded out of its span tree.
+type TraceRequestView = tracing.RequestView
+
+// NewTracer creates a Tracer.
+func NewTracer(cfg TraceConfig) *Tracer { return tracing.New(cfg) }
+
+// ParseTraceparent parses a traceparent-style header into a
+// SpanContext.
+func ParseTraceparent(h string) (SpanContext, error) { return tracing.ParseTraceparent(h) }
+
+// ParseTrace parses a trace JSONL stream into a TraceAnalysis.
+func ParseTrace(r io.Reader) (*TraceAnalysis, error) { return tracing.Parse(r) }
