@@ -6,12 +6,15 @@
 # serve-smoke boots the service daemon under real load and asserts a
 # clean zero-loss drain, trace-smoke checks end-to-end request tracing
 # (schema-valid spans, exact cost reconciliation, byte-identical
-# deterministic traces across shard counts), and staticcheck runs when
-# the tool is installed (it is skipped gracefully otherwise — the build
+# deterministic traces across shard counts), crash-smoke SIGKILLs the
+# daemon mid-load and asserts the journal-recovered accounting is
+# byte-identical to an uninterrupted same-seed run (plus supervised
+# recovery from injected shard panics), and staticcheck runs when the
+# tool is installed (it is skipped gracefully otherwise — the build
 # must not depend on network access).
-.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke trace-smoke staticcheck chaos profile
+.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke trace-smoke crash-smoke staticcheck chaos profile
 
-verify: build vet test race obscheck fuzzsmoke serve-smoke trace-smoke staticcheck
+verify: build vet test race obscheck fuzzsmoke serve-smoke trace-smoke crash-smoke staticcheck
 
 build:
 	go build ./...
@@ -46,6 +49,9 @@ serve-smoke:
 
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+crash-smoke:
+	sh scripts/crash_smoke.sh
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

@@ -7,7 +7,7 @@
 //
 //	loadgen -addr 127.0.0.1:8080 [-workload uniform:n=8,pwrite=0.3]
 //	        [-objects 64] [-workers 4] [-requests 10000] [-duration 0]
-//	        [-batch 32] [-seed 1]
+//	        [-batch 32] [-seed 1] [-retrywindow 0]
 //	loadgen -inproc [-shards 8] [-engine da] [-adaptive window=8] ...
 //	        [-trace out.jsonl] [-trace-deterministic] (same workload flags)
 //
@@ -24,12 +24,17 @@
 //
 // Workers own disjoint object partitions (object index mod workers), so
 // each object's requests stay on one sequential path — the service's
-// determinism contract. Overloaded batches retry after the server's
-// hint; a draining server ends the run. The exit is nonzero if any
-// accepted request was lost.
+// determinism contract. Every HTTP request carries a per-object sequence
+// number (starting at 1), so a journaling daemon deduplicates retried
+// batches idempotently. Overloaded batches retry after the server's
+// hint; a draining server ends the run. With -retrywindow each batch
+// additionally retries transport errors with capped jittered backoff for
+// up to that long, so the run survives a daemon kill-and-restart window.
+// The exit is nonzero if any accepted request was lost.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -75,6 +80,7 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 0, "run for this long instead of a fixed request count")
 		batchSz  = fs.Int("batch", 32, "requests per HTTP batch")
 		seed     = fs.Int64("seed", 1, "workload seed (worker w uses seed+w)")
+		retryWin = fs.Duration("retrywindow", 0, "retry each HTTP batch through transport errors for up to this long (0 = fail on the first transport error)")
 
 		shards     = fs.Int("shards", 8, "in-process server: shards")
 		queue      = fs.Int("queue", 256, "in-process server: per-shard queue")
@@ -102,6 +108,9 @@ func run(args []string) error {
 	}
 	if (*traceFile != "" || *traceDet) && !*inproc {
 		return fmt.Errorf("-trace and -trace-deterministic require -inproc (against HTTP, trace on the daemon with objallocd -trace)")
+	}
+	if *retryWin > 0 && *inproc {
+		return fmt.Errorf("-retrywindow requires -addr (the in-process path has no transport to retry)")
 	}
 
 	var do func(worker int, reqs []server.WireRequest) (int, bool, error)
@@ -193,7 +202,7 @@ func run(args []string) error {
 			return nil
 		}
 	} else {
-		client := &server.Client{Base: "http://" + *addr}
+		client := &server.Client{Base: "http://" + *addr, Seed: *seed}
 		// Each batch carries a traceparent derived from (seed, worker,
 		// per-worker batch sequence); workers touch only their own slot,
 		// so no locking. A tracing daemon parents its spans under these
@@ -203,6 +212,19 @@ func run(args []string) error {
 			sc := tracing.DeriveRequest(*seed, fmt.Sprintf("loadgen-w%d", w), batchSeq[w])
 			batchSeq[w]++
 			t0 := time.Now()
+			if *retryWin > 0 {
+				// The retry window rides out a daemon restart: the tail is
+				// resent through transport errors, and the per-object
+				// sequence numbers make resent requests idempotent.
+				ctx, cancel := context.WithTimeout(context.Background(), *retryWin)
+				results, err := client.BatchAllCtx(ctx, sc, reqs)
+				cancel()
+				if err != nil {
+					return len(results), false, err
+				}
+				reqLats.addN(time.Since(t0), len(results))
+				return len(results), len(results) < len(reqs), nil
+			}
 			resp, err := client.BatchTraced(sc, reqs)
 			if err != nil {
 				return 0, false, err
@@ -254,6 +276,10 @@ func run(args []string) error {
 			for o := w; o < *objects; o += *workers {
 				names = append(names, fmt.Sprintf("obj-%d", o))
 			}
+			// Per-object sequence numbers (the worker owns its objects, so
+			// a local map is the authoritative arrival order): a journaling
+			// daemon uses them to deduplicate resent batches.
+			seqs := make(map[string]uint64)
 			sent := 0
 			si := 0
 			for {
@@ -275,10 +301,13 @@ func run(args []string) error {
 					if q.IsWrite() {
 						op = "w"
 					}
+					name := names[si%len(names)]
+					seqs[name]++
 					batch = append(batch, server.WireRequest{
-						Object:    names[si%len(names)],
+						Object:    name,
 						Op:        op,
 						Processor: int(q.Processor),
+						Seq:       seqs[name],
 					})
 					si++
 				}

@@ -10,19 +10,31 @@
 //	          [-adaptive window=8,hysteresis=2]
 //	          [-n 8] [-t 3] [-cc 0.25] [-cd 1] [-mobile]
 //	          [-coalesce auto] [-faults loss=0.1,delay=0.2] [-noretry]
-//	          [-attempts 0] [-seed 0] [-journal dir]
+//	          [-attempts 0] [-seed 0] [-journal dir] [-recover]
+//	          [-checkpoint 1024] [-chaos-panic 0]
 //	          [-addr 127.0.0.1:0] [-addrfile path] [-statsfile path]
 //	          [-draintimeout 30s] [-metrics out.jsonl] [-pprof addr]
 //	          [-trace out.jsonl] [-trace-deterministic] [-trace-sample 1]
 //
 // The HTTP API is POST /v1/batch (with optional traceparent
 // propagation), GET /v1/stats, GET /v1/metrics (Prometheus text) and
-// GET /v1/healthz. With -trace the daemon records request-scoped spans
-// (admission, queue wait, engine service, billed protocol transitions)
-// and writes the canonical trace JSONL on drain;
-// -trace-deterministic zeroes the wall-clock fields so same-seed trace
-// files are byte-identical at any -shards (see cmd/traceview for the
-// analyzer).
+// GET /v1/healthz (per-shard supervisor state). With -trace the daemon
+// records request-scoped spans (admission, queue wait, engine service,
+// billed protocol transitions) and streams them to the trace JSONL as
+// requests complete, appending the summary line on drain — so a crash
+// loses only in-flight requests' spans; -trace-deterministic buffers
+// instead and zeroes the wall-clock fields so same-seed trace files are
+// byte-identical at any -shards (see cmd/traceview for the analyzer).
+//
+// With -journal each shard group-commits a request journal
+// (fsynced once per service round, checkpointed every -checkpoint
+// records); -recover replays the journals on startup, restoring every
+// object's allocation scheme, adaptive-controller state and cumulative
+// accounting, so a SIGKILLed daemon restarted with the same flags
+// continues exactly where the last fsync left it. Shard loops run under
+// a supervisor that recovers panics, rebuilds the shard from its
+// journal and restarts it with capped backoff (-chaos-panic injects one
+// such panic per shard for testing).
 // On SIGTERM or SIGINT the daemon drains gracefully: accepted requests
 // complete, new ones are refused, journals are flushed and fsynced, the
 // final stats are printed to stdout, and the process exits nonzero if
@@ -80,7 +92,10 @@ func run(args []string, ready chan<- string) error {
 		attempts     = fs.Int("attempts", 0, "retransmission cap per message (0 = default)")
 		seed         = fs.Int64("seed", 0, "fault-stream seed perturbation")
 		maxHAObjects = fs.Int("maxhaobjects", 64, "per-shard object cap under -engine ha")
-		journal      = fs.String("journal", "", "directory for per-shard request journals (fsynced on drain)")
+		journal      = fs.String("journal", "", "directory for per-shard request journals (group-committed once per service round)")
+		recoverJ     = fs.Bool("recover", false, "replay the per-shard journals on startup (requires -journal)")
+		checkpoint   = fs.Int("checkpoint", 0, "journal checkpoint cadence in records, so replay is O(tail) (0 = default 1024)")
+		chaosPanic   = fs.Int64("chaos-panic", 0, "panic each shard loop after this many serviced requests, exercising the supervisor (0 disables)")
 		addr         = fs.String("addr", "127.0.0.1:0", "HTTP listen address")
 		addrfile     = fs.String("addrfile", "", "write the bound address to this file once listening")
 		statsfile    = fs.String("statsfile", "", "write the final stats JSON to this file on drain")
@@ -137,8 +152,22 @@ func run(args []string, ready chan<- string) error {
 	defer cli.Close()
 
 	var tracer *tracing.Tracer
+	var traceStream *os.File
 	if *traceFile != "" {
-		tracer = tracing.New(tracing.Config{Deterministic: *traceDet, SampleRate: *traceSample})
+		tcfg := tracing.Config{Deterministic: *traceDet, SampleRate: *traceSample}
+		if !*traceDet {
+			// Stream spans to the file as requests complete so a crash
+			// loses only in-flight requests' spans; the summary line is
+			// appended at drain. Deterministic mode buffers instead — its
+			// canonical global sort needs every span before any is written.
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				return fmt.Errorf("trace file: %w", err)
+			}
+			traceStream = f
+			tcfg.Stream = f
+		}
+		tracer = tracing.New(tcfg)
 	} else if *traceDet || *traceSample != 1 {
 		return fmt.Errorf("-trace-deterministic and -trace-sample require -trace")
 	}
@@ -150,8 +179,10 @@ func run(args []string, ready chan<- string) error {
 		Faults:   planPtr,
 		Retry:    netsim.RetryPolicy{Disabled: *noretry, MaxAttempts: *attempts},
 		Journal:  *journal, MaxHAObjects: *maxHAObjects,
-		Obs:   cli.Obs(),
-		Trace: tracer,
+		Recover: *recoverJ, CheckpointEvery: *checkpoint,
+		PanicAfter: *chaosPanic,
+		Obs:        cli.Obs(),
+		Trace:      tracer,
 	})
 	if err != nil {
 		return err
@@ -202,10 +233,16 @@ func run(args []string, ready chan<- string) error {
 	hs.Shutdown(shutdownCtx)
 
 	if tracer != nil {
-		f, err := os.Create(*traceFile)
-		if err != nil {
-			return fmt.Errorf("trace file: %w", err)
+		f := traceStream
+		if f == nil {
+			var err error
+			f, err = os.Create(*traceFile)
+			if err != nil {
+				return fmt.Errorf("trace file: %w", err)
+			}
 		}
+		// Streaming mode already flushed the spans; WriteTo appends the
+		// buffered ones (none when streaming) and the summary line.
 		n, werr := tracer.WriteTo(f)
 		if serr := f.Sync(); werr == nil {
 			werr = serr
@@ -216,7 +253,7 @@ func run(args []string, ready chan<- string) error {
 		if werr != nil {
 			return fmt.Errorf("trace file: %w", werr)
 		}
-		log.Printf("trace: %d lines written to %s", n, *traceFile)
+		log.Printf("trace: %d lines appended to %s", n, *traceFile)
 	}
 
 	st := srv.Stats()

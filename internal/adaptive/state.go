@@ -1,0 +1,118 @@
+package adaptive
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"objalloc/internal/dom"
+	"objalloc/internal/model"
+)
+
+// ctlState is the serialized form of a Controller: the inner protocol
+// and its own state blob, the step count, and — for a still-adapting
+// controller — the full sliding window (ring, masses, hysteresis streak)
+// plus the transition history. Masses are exported as float64 and
+// round-trip exactly through JSON (Go emits the shortest representation
+// that decodes back to the same bits), so a restored controller prices
+// future windows identically to the one that exported it.
+type ctlState struct {
+	Protocol string          `json:"protocol"` // "sa" or "da"
+	Inner    json.RawMessage `json:"inner"`
+	Steps    int             `json:"steps"`
+
+	Ring      []ringEntry                   `json:"ring,omitempty"`
+	Head      int                           `json:"head,omitempty"`
+	ReadMass  map[model.ProcessorID]float64 `json:"read_mass,omitempty"`
+	WriteMass map[model.ProcessorID]float64 `json:"write_mass,omitempty"`
+	Streak    int                           `json:"streak,omitempty"`
+	Trans     []dom.Transition              `json:"trans,omitempty"`
+}
+
+type ringEntry struct {
+	R bool              `json:"r"`
+	P model.ProcessorID `json:"p"`
+}
+
+// ExportState implements dom.Restorer.
+func (c *Controller) ExportState() ([]byte, error) {
+	r, ok := c.inner.(dom.Restorer)
+	if !ok {
+		return nil, fmt.Errorf("adaptive: inner protocol %s is not restorable", c.inner.Name())
+	}
+	inner, err := r.ExportState()
+	if err != nil {
+		return nil, err
+	}
+	st := ctlState{
+		Protocol: map[string]string{"SA": "sa", "DA": "da"}[c.inner.Name()],
+		Inner:    inner,
+		Steps:    c.steps,
+	}
+	if !c.pinned {
+		st.Ring = make([]ringEntry, 0, len(c.ring))
+		for _, a := range c.ring {
+			st.Ring = append(st.Ring, ringEntry{R: a.read, P: a.p})
+		}
+		st.Head = c.head
+		if len(c.readMass) > 0 {
+			st.ReadMass = c.readMass
+		}
+		if len(c.writeMass) > 0 {
+			st.WriteMass = c.writeMass
+		}
+		st.Streak = c.streak
+		st.Trans = c.trans
+	}
+	return json.Marshal(st)
+}
+
+// ImportState implements dom.Restorer: called on a freshly constructed
+// Controller with the same spec, model, initial scheme and threshold, it
+// restores the exporter's protocol, window and transition history.
+func (c *Controller) ImportState(data []byte) error {
+	var st ctlState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("adaptive: controller state: %w", err)
+	}
+	inner, err := c.protocol(st.Protocol)
+	if err != nil {
+		return fmt.Errorf("adaptive: controller state: %w", err)
+	}
+	r, ok := inner.(dom.Restorer)
+	if !ok {
+		return fmt.Errorf("adaptive: inner protocol %q is not restorable", st.Protocol)
+	}
+	if err := r.ImportState(st.Inner); err != nil {
+		return err
+	}
+	c.inner = inner
+	c.steps = st.Steps
+	if c.pinned {
+		// A pinned controller keeps no window; the exporter was pinned
+		// too (pinning is a pure function of spec and model), so the
+		// window fields are empty.
+		return nil
+	}
+	if len(st.Ring) > c.spec.Window {
+		return fmt.Errorf("adaptive: controller state ring has %d entries, window is %d", len(st.Ring), c.spec.Window)
+	}
+	if st.Head < 0 || (len(st.Ring) > 0 && st.Head >= c.spec.Window) {
+		return fmt.Errorf("adaptive: controller state head %d outside window %d", st.Head, c.spec.Window)
+	}
+	c.ring = c.ring[:0]
+	for _, e := range st.Ring {
+		c.ring = append(c.ring, access{read: e.R, p: e.P})
+	}
+	c.head = st.Head
+	c.readMass = make(map[model.ProcessorID]float64, len(st.ReadMass))
+	for p, v := range st.ReadMass {
+		c.readMass[p] = v
+	}
+	c.writeMass = make(map[model.ProcessorID]float64, len(st.WriteMass))
+	for p, v := range st.WriteMass {
+		c.writeMass[p] = v
+	}
+	c.streak = st.Streak
+	c.trans = st.Trans
+	return nil
+}

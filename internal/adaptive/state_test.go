@@ -1,0 +1,110 @@
+package adaptive
+
+import (
+	"bytes"
+	"testing"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+)
+
+// tailCost continues an already-running controller over sched and
+// returns the accounting of just that tail (new transition charges
+// included), mirroring RunCost but starting past the transitions already
+// on the books.
+func tailCost(c *Controller, sched model.Schedule) cost.Counts {
+	seen := len(c.Transitions())
+	var counts cost.Counts
+	for _, q := range sched {
+		scheme := c.Scheme()
+		st := c.Step(q)
+		counts = counts.Add(cost.StepCounts(st, scheme))
+		ts := c.Transitions()
+		for ; seen < len(ts); seen++ {
+			counts = counts.Add(ts[seen].Counts)
+		}
+	}
+	return counts
+}
+
+// A controller exported mid-run and imported into a fresh one must
+// continue identically: same per-step accounting, same switches, same
+// final scheme — and a re-export at the end must be byte-identical, so
+// checkpoint/replay cycles are stable.
+func TestStateRoundTripContinuesIdentically(t *testing.T) {
+	const n, avail = 6, 2
+	initial := initialScheme(avail)
+	m := cost.SC(0.25, 1)
+	spec, err := ParseSpec("adaptive:window=8,hysteresis=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range testBattery(t, n) {
+		orig, err := New(m, spec, initial, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := len(cs.Sched) / 2
+		for _, q := range cs.Sched[:half] {
+			orig.Step(q)
+		}
+		blob, err := orig.ExportState()
+		if err != nil {
+			t.Fatalf("%s: export: %v", cs.Name, err)
+		}
+		restored, err := New(m, spec, initial, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.ImportState(blob); err != nil {
+			t.Fatalf("%s: import: %v", cs.Name, err)
+		}
+		if got, want := restored.Protocol(), orig.Protocol(); got != want {
+			t.Fatalf("%s: restored protocol %s, want %s", cs.Name, got, want)
+		}
+		if got, want := restored.Scheme(), orig.Scheme(); got != want {
+			t.Fatalf("%s: restored scheme %v, want %v", cs.Name, got, want)
+		}
+
+		co := tailCost(orig, cs.Sched[half:])
+		cr := tailCost(restored, cs.Sched[half:])
+		if co != cr {
+			t.Fatalf("%s: tail accounting diverged: original %v, restored %v", cs.Name, co, cr)
+		}
+		if lo, lr := len(orig.Transitions()), len(restored.Transitions()); lo != lr {
+			t.Fatalf("%s: transition count diverged: original %d, restored %d", cs.Name, lo, lr)
+		}
+
+		bo, err := orig.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := restored.ExportState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bo, br) {
+			t.Fatalf("%s: final exports differ:\n  original %s\n  restored %s", cs.Name, bo, br)
+		}
+	}
+}
+
+// Garbage and inconsistent blobs are rejected, leaving the controller
+// untouched.
+func TestImportStateRejectsBadBlobs(t *testing.T) {
+	const n, avail = 6, 2
+	m := cost.SC(0.25, 1)
+	for _, bad := range []string{
+		"",
+		"not json",
+		`{"protocol":"xx","inner":{}}`,
+	} {
+		c, err := New(m, Spec{}, initialScheme(avail), avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ImportState([]byte(bad)); err == nil {
+			t.Fatalf("ImportState(%q) accepted a bad blob", bad)
+		}
+	}
+}

@@ -85,6 +85,18 @@ type MixReporter interface {
 	WindowStat() WindowStat
 }
 
+// Restorer is an optional Algorithm extension implemented by algorithms
+// whose run state can be exported and re-imported — the primitive behind
+// the server's crash-recovery checkpoints. ExportState returns an opaque
+// JSON blob; ImportState, called on a freshly constructed instance of
+// the SAME algorithm with the SAME initial scheme and threshold, must
+// leave the instance indistinguishable from the exporter: same scheme,
+// same future steps, same reported transitions.
+type Restorer interface {
+	ExportState() ([]byte, error)
+	ImportState(data []byte) error
+}
+
 // Factory creates a fresh Algorithm instance for a run starting from the
 // given initial allocation scheme under the t-availability constraint.
 // It returns an error if the initial scheme is unusable (e.g. fewer than t

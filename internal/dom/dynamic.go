@@ -1,6 +1,7 @@
 package dom
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"objalloc/internal/model"
@@ -81,6 +82,38 @@ func (d *Dynamic) Core() model.Set { return d.f }
 
 // Designated returns the designated processor p.
 func (d *Dynamic) Designated() model.ProcessorID { return d.p }
+
+// dynamicState is the serialized form of a Dynamic instance. The core F
+// and designated processor p are reconstructed from the initial scheme
+// by the factory, so only the evolving allocation scheme travels.
+type dynamicState struct {
+	Scheme uint64 `json:"scheme"`
+}
+
+// ExportState implements Restorer.
+func (d *Dynamic) ExportState() ([]byte, error) {
+	return json.Marshal(dynamicState{Scheme: uint64(d.scheme)})
+}
+
+// ImportState implements Restorer. The restored scheme must still cover
+// the core F — every reachable DA scheme does (writes move the scheme to
+// F ∪ {j}, reads only add members), so a violation means the state blob
+// belongs to a different object or configuration.
+func (d *Dynamic) ImportState(data []byte) error {
+	var st dynamicState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("dom: dynamic state: %w", err)
+	}
+	scheme := model.Set(st.Scheme)
+	if scheme.IsEmpty() {
+		return fmt.Errorf("dom: dynamic state has empty scheme")
+	}
+	if !d.f.SubsetOf(scheme) {
+		return fmt.Errorf("dom: dynamic state scheme %v does not cover core %v", scheme, d.f)
+	}
+	d.scheme = scheme
+	return nil
+}
 
 // Step implements Algorithm per §4.2.2.
 func (d *Dynamic) Step(q model.Request) model.Step {

@@ -1,6 +1,9 @@
 package dom
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"objalloc/internal/model"
 )
 
@@ -65,6 +68,33 @@ func (s *Static) Name() string { return "SA" }
 
 // Scheme implements Algorithm; for SA the scheme is the constant Q.
 func (s *Static) Scheme() model.Set { return s.q }
+
+// staticState is the serialized form of a Static instance. SA's scheme
+// is the constant Q, so the state is just Q itself; it is exported
+// anyway (rather than assumed) so a corrupted or mismatched checkpoint
+// is detected instead of silently accepted.
+type staticState struct {
+	Q uint64 `json:"q"`
+}
+
+// ExportState implements Restorer.
+func (s *Static) ExportState() ([]byte, error) {
+	return json.Marshal(staticState{Q: uint64(s.q)})
+}
+
+// ImportState implements Restorer.
+func (s *Static) ImportState(data []byte) error {
+	var st staticState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("dom: static state: %w", err)
+	}
+	q := model.Set(st.Q)
+	if q.IsEmpty() {
+		return fmt.Errorf("dom: static state has empty scheme")
+	}
+	s.q = q
+	return nil
+}
 
 // Step implements Algorithm per SAOS: reads execute at {i} if i ∈ Q, else
 // at one member of Q; writes execute at Q.

@@ -11,6 +11,7 @@
 package multiobject
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -195,6 +196,77 @@ func (db *DB) AllStats() []Stats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// ObjectState is one object's complete serialized state: everything the
+// directory needs to recreate the object exactly — name, the initial
+// scheme it was placed at, its cumulative accounting, and the
+// algorithm's own opaque state blob (dom.Restorer). The server's
+// crash-recovery checkpoints embed these records.
+type ObjectState struct {
+	Name     string          `json:"name"`
+	Initial  model.Set       `json:"initial"`
+	Requests int             `json:"requests"`
+	Counts   cost.Counts     `json:"counts"`
+	Alg      json.RawMessage `json:"alg,omitempty"`
+}
+
+// Export serializes every object, sorted by name. It fails if any
+// object's algorithm does not implement dom.Restorer — a directory
+// running a custom factory without state support cannot checkpoint.
+func (db *DB) Export() ([]ObjectState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]ObjectState, 0, len(db.objects))
+	for name, o := range db.objects {
+		r, ok := o.alg.(dom.Restorer)
+		if !ok {
+			return nil, fmt.Errorf("multiobject: algorithm %s for %q is not restorable", o.alg.Name(), name)
+		}
+		blob, err := r.ExportState()
+		if err != nil {
+			return nil, fmt.Errorf("multiobject: export %q: %w", name, err)
+		}
+		out = append(out, ObjectState{
+			Name: name, Initial: o.initial,
+			Requests: o.requests, Counts: o.counts, Alg: blob,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Restore recreates objects from exported states: each object is built
+// by the directory's factory at its recorded initial scheme, then the
+// algorithm state is imported. Restore is meant for a freshly opened
+// directory; restoring over an existing object replaces it.
+func (db *DB) Restore(states []ObjectState) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, st := range states {
+		alg, err := db.cfg.Factory(st.Initial, db.cfg.T)
+		if err != nil {
+			return fmt.Errorf("multiobject: restore %q: %w", st.Name, err)
+		}
+		if len(st.Alg) > 0 {
+			r, ok := alg.(dom.Restorer)
+			if !ok {
+				return fmt.Errorf("multiobject: algorithm %s for %q is not restorable", alg.Name(), st.Name)
+			}
+			if err := r.ImportState(st.Alg); err != nil {
+				return fmt.Errorf("multiobject: restore %q: %w", st.Name, err)
+			}
+		}
+		o := &object{alg: alg, initial: st.Initial, counts: st.Counts, requests: st.Requests}
+		// The restored algorithm reports its full transition history;
+		// those switches were billed before the export, so mark them
+		// seen or ApplyDetail would bill them again.
+		if tr, ok := alg.(dom.Transitioner); ok {
+			o.seenTrans = len(tr.Transitions())
+		}
+		db.objects[st.Name] = o
+	}
+	return nil
 }
 
 func (db *DB) statsLocked(name string, o *object) Stats {

@@ -95,6 +95,12 @@ type backend interface {
 	counts() cost.Counts
 	// stats returns per-object lifetime stats, sorted by name.
 	stats() []multiobject.Stats
+	// exportObjects serializes every object's full state for a recovery
+	// checkpoint; engines that cannot snapshot (HA's executed clusters)
+	// return an error and the journal degrades to full replay.
+	exportObjects() ([]multiobject.ObjectState, error)
+	// restore recreates objects from a checkpoint's exported states.
+	restore([]multiobject.ObjectState) error
 	// close releases the backend's resources.
 	close() error
 }
@@ -127,7 +133,16 @@ func (b *directoryBackend) apply(object string, q model.Request) (applied, error
 func (b *directoryBackend) objects() int               { return b.db.Objects() }
 func (b *directoryBackend) counts() cost.Counts        { return b.db.TotalCounts() }
 func (b *directoryBackend) stats() []multiobject.Stats { return b.db.AllStats() }
-func (b *directoryBackend) close() error               { return nil }
+
+func (b *directoryBackend) exportObjects() ([]multiobject.ObjectState, error) {
+	return b.db.Export()
+}
+
+func (b *directoryBackend) restore(states []multiobject.ObjectState) error {
+	return b.db.Restore(states)
+}
+
+func (b *directoryBackend) close() error { return nil }
 
 // haBackend is the executed engine: each object lazily opens its own
 // highly-available cluster (DA in normal mode, quorum failover on member
@@ -235,6 +250,14 @@ func (b *haBackend) stats() []multiobject.Stats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+func (b *haBackend) exportObjects() ([]multiobject.ObjectState, error) {
+	return nil, fmt.Errorf("server: ha engine state is not restorable")
+}
+
+func (b *haBackend) restore([]multiobject.ObjectState) error {
+	return fmt.Errorf("server: ha engine state is not restorable")
 }
 
 func (b *haBackend) close() error {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,11 +19,17 @@ import (
 // refused with 413 before any request is admitted.
 const maxBatchBytes = 8 << 20
 
-// WireRequest is one request on the wire.
+// WireRequest is one request on the wire. Seq, when positive, is the
+// client's per-object sequence number (start at 1, increment per
+// request): a resend of an already-serviced sequence — a retry after a
+// lost ack or a server restart — is answered idempotently at zero cost
+// (WireResult.Duplicate) instead of being billed twice, which is what
+// makes blind client retries crash-safe.
 type WireRequest struct {
 	Object    string `json:"object"`
 	Op        string `json:"op"` // "r" or "w"
 	Processor int    `json:"processor"`
+	Seq       uint64 `json:"seq,omitempty"`
 }
 
 // WireResult is one serviced request's outcome on the wire.
@@ -33,6 +40,7 @@ type WireResult struct {
 	Cost        float64 `json:"cost"`
 	Coalesced   bool    `json:"coalesced,omitempty"`
 	Retransmits int     `json:"retransmits,omitempty"`
+	Duplicate   bool    `json:"duplicate,omitempty"`
 	Err         string  `json:"err,omitempty"`
 }
 
@@ -83,7 +91,9 @@ func parseOp(s string) (model.Request, bool) {
 //	                   (and, once drained, the deterministic accounting),
 //	                   with a slow-request exemplar trace ID when tracing
 //	                   is on
-//	GET  /v1/healthz — 200 while accepting, 503 while draining
+//	GET  /v1/healthz — liveness plus per-shard supervision state
+//	                   (healthy | degraded | recovering, restart
+//	                   counts); 200 while accepting, 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -121,7 +131,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q.Processor = model.ProcessorID(wr.Processor)
-		res, err := s.DoTraced(wr.Object, q, parent)
+		res, err := s.do(wr.Object, q, parent, wr.Seq)
 		if err != nil {
 			if ov, isOverload := err.(*Overloaded); isOverload {
 				resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
@@ -141,7 +151,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, WireResult{
 			Object: wr.Object, Op: wr.Op, Processor: wr.Processor,
 			Cost: res.Cost, Coalesced: res.Coalesced, Retransmits: res.Retransmits,
-			Err: errStr,
+			Duplicate: res.Duplicate, Err: errStr,
 		})
 		resp.Done++
 	}
@@ -192,12 +202,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// HealthShard is one shard's supervision state in the healthz body.
+type HealthShard struct {
+	Shard    int    `json:"shard"`
+	State    string `json:"state"` // healthy | degraded | recovering
+	Restarts uint64 `json:"restarts,omitempty"`
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	Status   string        `json:"status"` // ok | degraded | draining
+	Draining bool          `json:"draining,omitempty"`
+	Shards   []HealthShard `json:"shards"`
+}
+
+// handleHealthz reports liveness plus per-shard supervision state: 503
+// only while draining; a degraded or recovering shard keeps the
+// endpoint 200 (the service still makes progress) but flips the
+// top-level status to "degraded" for probes that inspect the body.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	resp := HealthResponse{Status: "ok", Draining: s.Draining()}
+	for _, sh := range s.shards {
+		hs := HealthShard{Shard: sh.id, State: shardStateName(sh.state.Load()), Restarts: sh.restarts.Load()}
+		if hs.State != "healthy" {
+			resp.Status = "degraded"
+		}
+		resp.Shards = append(resp.Shards, hs)
 	}
-	fmt.Fprintln(w, "ok")
+	status := http.StatusOK
+	if resp.Draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
 }
 
 // Client is a minimal client for the HTTP API, used by the load
@@ -207,6 +246,9 @@ type Client struct {
 	Base string
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Seed seeds BatchAllCtx's retry jitter, so a fleet of load
+	// generators with distinct seeds doesn't retry in lockstep.
+	Seed int64
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -278,6 +320,80 @@ func (c *Client) BatchAll(reqs []WireRequest, maxRetries int) ([]WireResult, err
 		}
 	}
 	return out, nil
+}
+
+// Retry pacing for BatchAllCtx's transport-error loop.
+const (
+	retryBackoffBase = 10 * time.Millisecond
+	retryBackoffCap  = 500 * time.Millisecond
+)
+
+// BatchAllCtx is BatchAll with a context deadline instead of a retry
+// budget, built to survive a server restart window: transport errors
+// (connection refused or reset while the daemon is down) are retried
+// with capped exponential backoff, Retry-After hints are slept out, and
+// both sleeps carry seeded jitter (Client.Seed) so concurrent clients
+// desynchronize. Combined with per-object sequence numbers on the
+// requests, a retried batch is billed exactly once: the restarted
+// server answers already-serviced sequences idempotently. The loop
+// stops at ctx's deadline, when the server reports draining, or when
+// every request has been serviced.
+func (c *Client) BatchAllCtx(ctx context.Context, sc tracing.SpanContext, reqs []WireRequest) ([]WireResult, error) {
+	state := uint64(c.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	splitmix64(&state)
+	jitter := func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return time.Duration(splitmix64(&state) % uint64(retryBackoffBase))
+		}
+		return d + time.Duration(splitmix64(&state)%uint64(d/4+1))
+	}
+	var out []WireResult
+	backoff := retryBackoffBase
+	for len(reqs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("server: %d requests unserviced: %w", len(reqs), err)
+		}
+		resp, err := c.BatchTraced(sc, reqs)
+		if err != nil {
+			// Transport error: the daemon may be restarting. Per-object
+			// order is preserved because the whole tail is resent.
+			if serr := sleepCtx(ctx, jitter(backoff)); serr != nil {
+				return out, fmt.Errorf("server: %d requests unserviced: %w", len(reqs), serr)
+			}
+			if backoff *= 2; backoff > retryBackoffCap {
+				backoff = retryBackoffCap
+			}
+			continue
+		}
+		backoff = retryBackoffBase
+		out = append(out, resp.Results...)
+		reqs = reqs[resp.Done:]
+		if len(reqs) == 0 || resp.Draining {
+			break
+		}
+		if resp.Done == 0 || resp.RetryAfterMS > 0 {
+			d := time.Duration(resp.RetryAfterMS) * time.Millisecond
+			if err := sleepCtx(ctx, jitter(d)); err != nil {
+				return out, fmt.Errorf("server: %d requests unserviced: %w", len(reqs), err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Stats fetches the operational snapshot.

@@ -1,0 +1,387 @@
+// Crash recovery: the journal record formats and the deterministic
+// replay that rebuilds a shard's exact state from its journal.
+//
+// Each shard journal is a JSONL file of request records (reqRecord)
+// interleaved with periodic checkpoint records (ckptRecord, one line
+// prefixed {"t":"ckpt"...}). Replay restores the latest durable
+// checkpoint, then re-applies the tail records through a fresh engine,
+// redrawing every fault-stream draw the live shard made — so the
+// rebuilt allocation schemes, adaptive-controller windows, fault
+// streams, coalescing tables and accounting are bit-identical to the
+// crashed shard's state as of its last committed round. Records whose
+// replayed cost disagrees with the recorded cost fail the replay loudly
+// (config mismatch or corrupt journal) instead of silently diverging.
+//
+// Torn tails: a SIGKILL can leave a partial final write. Only complete,
+// parseable lines are replayed; the torn tail is truncated before the
+// journal is reopened for appending. The requests in the torn tail were
+// never acked (replies are sent only after the commit's fsync returns),
+// so clients retry them; retries of requests that DID reach the durable
+// prefix are answered idempotently via the per-object client sequence
+// horizon rebuilt here.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"objalloc/internal/cost"
+	"objalloc/internal/model"
+	"objalloc/internal/multiobject"
+	"objalloc/internal/netsim"
+)
+
+// reqRecord is one completed request in the journal. Field order
+// matters only for the first key: records start {"object": while
+// checkpoints start {"t": — the replay scanner tells them apart by
+// that prefix without a full parse.
+type reqRecord struct {
+	Object    string `json:"object"`
+	Op        string `json:"op"`
+	P         int    `json:"p"`
+	Seq       uint64 `json:"seq,omitempty"`
+	CostMilli int64  `json:"cost_milli"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Retrans   int    `json:"retransmits,omitempty"`
+	Err       string `json:"err,omitempty"`
+}
+
+// ckptTag is the discriminator value of a checkpoint line's leading
+// "t" field.
+const ckptTag = "ckpt"
+
+// ckptPrefix distinguishes checkpoint lines; reqRecord lines start
+// with {"object":.
+var ckptPrefix = []byte(`{"t":`)
+
+// ckptRecord is a shard checkpoint: the complete per-object engine
+// state plus every piece of loop-confined shard state replay would
+// otherwise have to reconstruct from the journal's full history.
+// Checkpoints are only taken when no delay-held task is in flight, so
+// the embedded fault-stream states account exactly for the records
+// preceding the checkpoint.
+type ckptRecord struct {
+	T         string                    `json:"t"` // ckptTag
+	Objects   []multiobject.ObjectState `json:"objects"`
+	Next      map[string]uint64         `json:"next,omitempty"`
+	Streams   map[string]uint64         `json:"streams,omitempty"`
+	Fresh     map[string]uint64         `json:"fresh,omitempty"`
+	TraceSeq  map[string]uint64         `json:"trace_seq,omitempty"`
+	Extra     cost.Counts               `json:"extra,omitzero"`
+	Completed uint64                    `json:"completed"`
+	Reads     uint64                    `json:"reads,omitempty"`
+	Writes    uint64                    `json:"writes,omitempty"`
+	Coalesced uint64                    `json:"coalesced,omitempty"`
+	Retrans   uint64                    `json:"retransmits,omitempty"`
+	Unreach   uint64                    `json:"unreachable,omitempty"`
+	Dups      uint64                    `json:"duplicates,omitempty"`
+	Deduped   uint64                    `json:"deduped,omitempty"`
+}
+
+// replayed is a shard's state rebuilt from its journal.
+type replayed struct {
+	be      backend
+	next    map[string]uint64
+	streams map[string]*uint64
+	fresh   map[string]model.Set // nil when coalescing is off
+	seq     map[string]uint64
+	extra   cost.Counts
+
+	completed, reads, writes uint64
+	coalesced, retrans       uint64
+	unreach, dups, deduped   uint64
+}
+
+func newReplayed(cfg *Config) (*replayed, error) {
+	if cfg.Engine == EngineHA {
+		return nil, fmt.Errorf("server: ha engine state is not restorable")
+	}
+	be, err := newDirectoryBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := &replayed{
+		be:      be,
+		next:    make(map[string]uint64),
+		streams: make(map[string]*uint64),
+		seq:     make(map[string]uint64),
+	}
+	if cfg.coalesce {
+		st.fresh = make(map[string]model.Set)
+	}
+	return st, nil
+}
+
+// replayJournal rebuilds one shard's state from its journal file and
+// returns it together with the length of the valid prefix (everything
+// before a torn final line). A missing file replays to the empty state,
+// so -recover works on first boot.
+func replayJournal(path string, cfg *Config, plan *netsim.FaultPlan) (*replayed, int64, error) {
+	st, err := newReplayed(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, 0, nil
+		}
+		return nil, 0, fmt.Errorf("server: journal %s: %w", path, err)
+	}
+
+	// Cut complete lines; bytes after the last newline are a torn tail.
+	var recs [][]byte
+	var ends []int64
+	off := int64(0)
+	for off < int64(len(data)) {
+		i := bytes.IndexByte(data[off:], '\n')
+		if i < 0 {
+			break
+		}
+		recs = append(recs, data[off:off+int64(i)])
+		off += int64(i) + 1
+		ends = append(ends, off)
+	}
+
+	// Find the last parseable checkpoint; a torn or unparseable FINAL
+	// line (checkpoint or record) is dropped, an unparseable middle
+	// line is corruption.
+	ckptIdx := -1
+	var ckpt *ckptRecord
+	for i := len(recs) - 1; i >= 0; i-- {
+		if !bytes.HasPrefix(recs[i], ckptPrefix) {
+			continue
+		}
+		var c ckptRecord
+		if err := json.Unmarshal(recs[i], &c); err != nil || c.T != ckptTag {
+			if i == len(recs)-1 {
+				recs = recs[:i]
+				ends = ends[:i]
+				continue
+			}
+			return nil, 0, fmt.Errorf("server: journal %s: corrupt checkpoint at line %d", path, i+1)
+		}
+		ckptIdx, ckpt = i, &c
+		break
+	}
+	if ckpt != nil {
+		if err := st.restoreCheckpoint(ckpt); err != nil {
+			return nil, 0, fmt.Errorf("server: journal %s: %w", path, err)
+		}
+	}
+
+	validLen := int64(0)
+	if len(ends) > 0 {
+		validLen = ends[len(ends)-1]
+	}
+	for i := ckptIdx + 1; i < len(recs); i++ {
+		if bytes.HasPrefix(recs[i], ckptPrefix) {
+			// An older checkpoint between the last one and the tail
+			// cannot occur; a later one was torn and skipped above.
+			continue
+		}
+		var rec reqRecord
+		if err := json.Unmarshal(recs[i], &rec); err != nil {
+			if i == len(recs)-1 {
+				// Torn final record line: drop it, shorten the prefix.
+				validLen = ends[i] - int64(len(recs[i])) - 1
+				break
+			}
+			return nil, 0, fmt.Errorf("server: journal %s: corrupt record at line %d: %v", path, i+1, err)
+		}
+		if err := st.apply(cfg, plan, &rec); err != nil {
+			return nil, 0, fmt.Errorf("server: journal %s: line %d: %w", path, i+1, err)
+		}
+	}
+	return st, validLen, nil
+}
+
+func (st *replayed) restoreCheckpoint(c *ckptRecord) error {
+	if err := st.be.restore(c.Objects); err != nil {
+		return err
+	}
+	for obj, n := range c.Next {
+		st.next[obj] = n
+	}
+	for obj, v := range c.Streams {
+		vv := v
+		st.streams[obj] = &vv
+	}
+	if st.fresh != nil {
+		for obj, s := range c.Fresh {
+			st.fresh[obj] = model.Set(s)
+		}
+	}
+	for obj, n := range c.TraceSeq {
+		st.seq[obj] = n
+	}
+	st.extra = c.Extra
+	st.completed = c.Completed
+	st.reads = c.Reads
+	st.writes = c.Writes
+	st.coalesced = c.Coalesced
+	st.retrans = c.Retrans
+	st.unreach = c.Unreach
+	st.dups = c.Dups
+	st.deduped = c.Deduped
+	return nil
+}
+
+// stream mirrors shard.stream: same seeding, so replay's redraws track
+// the live shard's draws exactly.
+func (st *replayed) stream(cfg *Config, plan *netsim.FaultPlan, object string) *uint64 {
+	s, ok := st.streams[object]
+	if !ok {
+		seed := (plan.Seed ^ uint64(cfg.Seed)) * 0x9e3779b97f4a7c15
+		v := seed ^ fnv64a(object)
+		s = &v
+		splitmix64(s)
+		st.streams[object] = s
+	}
+	return s
+}
+
+// apply re-services one journaled record, mirroring shard.process draw
+// for draw, and verifies the replayed outcome against the recorded one.
+func (st *replayed) apply(cfg *Config, plan *netsim.FaultPlan, rec *reqRecord) error {
+	st.seq[rec.Object]++
+	if rec.Seq != 0 && rec.Seq >= st.next[rec.Object] {
+		st.next[rec.Object] = rec.Seq + 1
+	}
+	q, ok := parseOp(rec.Op)
+	if !ok {
+		return fmt.Errorf("bad op %q", rec.Op)
+	}
+	q.Processor = model.ProcessorID(rec.P)
+	var retransmits int
+	var retransCost float64
+	if plan != nil && plan.Active() && cfg.Engine != EngineHA {
+		s := st.stream(cfg, plan, rec.Object)
+		if plan.Delay > 0 && float01(s) < plan.Delay {
+			dmax := plan.DelayMax
+			if dmax < 1 {
+				dmax = 1
+			}
+			// Magnitude draw; the hold length only affects scheduling.
+			_ = splitmix64(s) % uint64(dmax)
+		}
+		if plan.Loss > 0 {
+			attempts := cfg.Retry.Attempts()
+			if cfg.Retry.Disabled {
+				attempts = 1
+			}
+			delivered := false
+			for a := 0; a < attempts; a++ {
+				if float01(s) < plan.Loss {
+					retransmits++
+				} else {
+					delivered = true
+					break
+				}
+			}
+			st.extra.Control += retransmits
+			retransCost = float64(retransmits) * cfg.Model.CC
+			st.retrans += uint64(retransmits)
+			if !delivered {
+				if rec.Err == "" {
+					return fmt.Errorf("replay draws unreachable, record has no error")
+				}
+				if err := st.verify(rec, milli(retransCost), retransmits, false); err != nil {
+					return err
+				}
+				st.unreach++
+				st.completed++
+				return nil
+			}
+		}
+		if plan.Dup > 0 && float01(s) < plan.Dup {
+			st.dups++
+		}
+	}
+	if st.fresh != nil && q.IsRead() && st.fresh[rec.Object].Contains(q.Processor) {
+		if err := st.verify(rec, milli(retransCost), retransmits, true); err != nil {
+			return err
+		}
+		st.coalesced++
+		st.reads++
+		st.completed++
+		return nil
+	}
+	a, err := st.be.apply(rec.Object, q)
+	if st.fresh != nil && err == nil {
+		if q.IsRead() {
+			st.fresh[rec.Object] = st.fresh[rec.Object].Add(q.Processor)
+		} else {
+			delete(st.fresh, rec.Object)
+		}
+	}
+	if q.IsRead() {
+		st.reads++
+	} else {
+		st.writes++
+	}
+	if err := st.verify(rec, milli(a.cost+retransCost), retransmits, false); err != nil {
+		return err
+	}
+	st.completed++
+	return nil
+}
+
+func (st *replayed) verify(rec *reqRecord, costMilli int64, retransmits int, coalesced bool) error {
+	if costMilli != rec.CostMilli || retransmits != rec.Retrans || coalesced != rec.Coalesced {
+		return fmt.Errorf("record %s/%s/p%d replays to cost=%d retransmits=%d coalesced=%t, recorded cost=%d retransmits=%d coalesced=%t (config mismatch or corrupt journal)",
+			rec.Object, rec.Op, rec.P, costMilli, retransmits, coalesced, rec.CostMilli, rec.Retrans, rec.Coalesced)
+	}
+	return nil
+}
+
+// ReplayDir rebuilds the whole service's final accounting from a
+// journal directory alone, without starting a server: every shard
+// journal is replayed and the results are aggregated into the same
+// Stats a drained server reports (Final set; scheduling-dependent
+// fields — rejected, deduped, rounds, queue gauges — are zero). The
+// config must match the one the journals were written under: same
+// engine, model, seed, fault plan, coalescing and shard count.
+func ReplayDir(cfg Config) (Stats, error) {
+	if err := cfg.Normalize(); err != nil {
+		return Stats{}, err
+	}
+	if cfg.Journal == "" {
+		return Stats{}, fmt.Errorf("server: ReplayDir requires Config.Journal")
+	}
+	if cfg.Engine == EngineHA {
+		return Stats{}, fmt.Errorf("server: ha engine state is not restorable")
+	}
+	st := Stats{Engine: cfg.Engine.String(), Shards: cfg.Shards, Draining: true, Final: true}
+	var counts cost.Counts
+	for i := 0; i < cfg.Shards; i++ {
+		plan := cfg.Faults
+		if cfg.ShardFaults != nil {
+			plan = cfg.ShardFaults(i)
+		}
+		path := filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", i))
+		rs, _, err := replayJournal(path, &cfg, plan)
+		if err != nil {
+			return Stats{}, err
+		}
+		ss := ShardStats{Shard: i, Accepted: rs.completed, Complete: rs.completed}
+		st.Accepted += rs.completed
+		st.Complete += rs.completed
+		st.Reads += rs.reads
+		st.Writes += rs.writes
+		st.Coalesce += rs.coalesced
+		st.Retrans += rs.retrans
+		st.Unreach += rs.unreach
+		st.Dups += rs.dups
+		st.Objects += rs.be.objects()
+		counts = counts.Add(rs.be.counts())
+		counts = counts.Add(rs.extra)
+		st.PerShard = append(st.PerShard, ss)
+	}
+	st.Counts = counts
+	st.Cost = counts.Price(cfg.Model)
+	return st, nil
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"objalloc/internal/adaptive"
+	"objalloc/internal/model"
+	"objalloc/internal/netsim"
+	"objalloc/internal/tracing"
+)
+
+// driveRange is drive with an explicit per-object request range
+// [from, to): the request at index i of an object's stream is identical
+// whether issued in one run or split across a shutdown/recover
+// boundary, which is what the continuation tests rely on.
+func driveRange(t *testing.T, s *Server, objects, from, to, workers int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for o := w; o < objects; o += workers {
+				name := fmt.Sprintf("obj-%d", o)
+				for i := from; i < to; i++ {
+					var q model.Request
+					if (o+i)%3 == 0 {
+						q = model.W(model.ProcessorID((o + i) % s.cfg.N))
+					} else {
+						q = model.R(model.ProcessorID((o + i) % s.cfg.N))
+					}
+					if _, err := s.Do(name, q); err != nil {
+						var ov *Overloaded
+						if errors.As(err, &ov) {
+							i-- // retry: per-object order still intact
+							continue
+						}
+						var unreachable netsim.Unreachable
+						if errors.As(err, &unreachable) {
+							continue // consumed, just failed
+						}
+						t.Errorf("Do(%s): %v", name, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// detStats renders the deterministic accounting subset — everything the
+// determinism contract pins down, excluding scheduling-dependent fields
+// (rejected, deduped, queue depths, rounds, restarts).
+func detStats(st Stats) string {
+	return fmt.Sprintf("completed=%d reads=%d writes=%d coalesced=%d retrans=%d unreach=%d dups=%d objects=%d counts=%v cost=%.6f",
+		st.Complete, st.Reads, st.Writes, st.Coalesce, st.Retrans, st.Unreach, st.Dups,
+		st.Objects, st.Counts, st.Cost)
+}
+
+// recoveryConfig is the battery config the recovery tests share: the
+// adaptive engine (so controller state must round-trip), loss and delay
+// faults (so fault-stream positions must round-trip), and a small
+// checkpoint cadence (so replay crosses checkpoint boundaries).
+func recoveryConfig(shards int, dir string) Config {
+	aspec, err := adaptive.ParseSpec("adaptive:window=8,hysteresis=2")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Shards: shards, N: 6, T: 2,
+		Engine: EngineAdaptive, Adaptive: aspec,
+		Seed:            11,
+		Faults:          &netsim.FaultPlan{Seed: 5, Loss: 0.1, Delay: 0.2, DelayMax: 3},
+		Retry:           netsim.RetryPolicy{MaxAttempts: 4},
+		Journal:         dir,
+		CheckpointEvery: 8,
+	}
+}
+
+// A run split across a shutdown and a -recover restart must produce
+// accounting byte-identical to the same workload run uninterrupted:
+// journal replay restores every object's scheme, the adaptive
+// controller's window, and the fault-stream positions.
+func TestRecoverContinuesIdentically(t *testing.T) {
+	const objects, perObject, workers = 8, 20, 2
+
+	full, err := New(recoveryConfig(2, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, full, objects, 0, perObject, workers)
+	full.Drain()
+	want := detStats(full.Stats())
+
+	dir := t.TempDir()
+	first, err := New(recoveryConfig(2, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, first, objects, 0, perObject/2, workers)
+	first.Drain()
+
+	cfg := recoveryConfig(2, dir)
+	cfg.Recover = true
+	second, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := second.Stats()
+	if st.Complete != uint64(objects*perObject/2) {
+		t.Fatalf("recovered server reports %d completed, want %d replayed", st.Complete, objects*perObject/2)
+	}
+	driveRange(t, second, objects, perObject/2, perObject, workers)
+	second.Drain()
+	if got := detStats(second.Stats()); got != want {
+		t.Fatalf("recovered run diverges from uninterrupted run:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// ReplayDir reconstructs a drained run's deterministic accounting from
+// the journals alone.
+func TestReplayDirMatchesStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(recoveryConfig(2, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, s, 8, 0, 15, 2)
+	s.Drain()
+	want := detStats(s.Stats())
+
+	st, err := ReplayDir(recoveryConfig(2, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := detStats(st); got != want {
+		t.Fatalf("replay diverges from live stats:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// A torn final line — the partial write a crash mid-commit leaves — is
+// discarded by replay, both as a raw truncated tail and as an
+// unparseable newline-terminated line.
+func TestTornFinalLineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(recoveryConfig(2, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, s, 8, 0, 10, 2)
+	s.Drain()
+	want := detStats(s.Stats())
+
+	for i, torn := range []string{
+		`{"object":"obj-0","op":"r","p":`, // no trailing newline
+		"torn garbage with newline\n",
+	} {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.jsonl", i))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(torn); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	st, err := ReplayDir(recoveryConfig(2, dir))
+	if err != nil {
+		t.Fatalf("replay with torn final lines: %v", err)
+	}
+	if got := detStats(st); got != want {
+		t.Fatalf("torn-tail replay diverges:\n  got  %s\n  want %s", got, want)
+	}
+
+	// A recovering server truncates the torn tail away and continues.
+	cfg := recoveryConfig(2, dir)
+	cfg.Recover = true
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Drain()
+	if got := detStats(s2.Stats()); got != want {
+		t.Fatalf("recovered-from-torn stats diverge:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// Corruption in the middle of a journal — not a torn tail — must fail
+// replay loudly rather than silently dropping records.
+func TestCorruptMiddleFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(recoveryConfig(1, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, s, 4, 0, 10, 1)
+	s.Drain()
+
+	path := filepath.Join(dir, "shard-0.jsonl")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(b), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal too short to corrupt: %d lines", len(lines))
+	}
+	corrupt := strings.Join(lines[:len(lines)-2], "") + "corrupt\n" + lines[len(lines)-2] + lines[len(lines)-1]
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayDir(recoveryConfig(1, dir)); err == nil {
+		t.Fatal("replay accepted a journal with mid-file corruption")
+	}
+}
+
+// The journals written at different shard counts replay to the same
+// aggregate accounting: replay preserves the shard-count-independence
+// of the determinism contract.
+func TestReplayDeterminismAcrossShardCounts(t *testing.T) {
+	var want string
+	for i, shards := range []int{1, 8} {
+		dir := t.TempDir()
+		s, err := New(recoveryConfig(shards, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveRange(t, s, 12, 0, 15, 4)
+		s.Drain()
+		st, err := ReplayDir(recoveryConfig(shards, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := detStats(st); i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("replay at %d shards diverges from 1 shard:\n  got  %s\n  want %s", shards, got, want)
+		}
+	}
+}
+
+// An injected panic in every shard loop must be supervised back to
+// healthy: no accepted request is lost, the restart is counted, and the
+// accounting still matches a panic-free same-seed run.
+func TestShardPanicRecovery(t *testing.T) {
+	const objects, perObject, workers = 8, 20, 4
+
+	clean, err := New(recoveryConfig(2, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, clean, objects, 0, perObject, workers)
+	clean.Drain()
+	want := detStats(clean.Stats())
+
+	cfg := recoveryConfig(2, t.TempDir())
+	cfg.PanicAfter = 5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveRange(t, s, objects, 0, perObject, workers)
+	s.Drain()
+	st := s.Stats()
+	if st.Accepted != st.Complete {
+		t.Fatalf("panic run lost requests: accepted %d, completed %d", st.Accepted, st.Complete)
+	}
+	var restarts uint64
+	for _, ss := range st.PerShard {
+		restarts += ss.Restarts
+		if ss.State != "" {
+			t.Fatalf("shard %d ended in state %q, want healthy", ss.Shard, ss.State)
+		}
+	}
+	if restarts == 0 {
+		t.Fatal("no supervised restarts recorded — the injected panic never fired")
+	}
+	if got := detStats(st); got != want {
+		t.Fatalf("post-panic accounting diverges from panic-free run:\n  got  %s\n  want %s", got, want)
+	}
+}
+
+// Per-object sequence numbers make retries idempotent: a seq below the
+// serviced horizon is answered as a zero-cost duplicate, in-process and
+// over the HTTP wire.
+func TestSeqDedup(t *testing.T) {
+	s, err := New(Config{Shards: 2, N: 4, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.do("x", model.R(0), tracing.SpanContext{}, 1)
+	if err != nil || r1.Duplicate {
+		t.Fatalf("first seq-1 request: %+v, %v", r1, err)
+	}
+	r2, err := s.do("x", model.R(0), tracing.SpanContext{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Duplicate || r2.Cost != 0 {
+		t.Fatalf("resent seq-1 request not deduplicated: %+v", r2)
+	}
+	r3, err := s.do("x", model.W(1), tracing.SpanContext{}, 2)
+	if err != nil || r3.Duplicate {
+		t.Fatalf("seq-2 request: %+v, %v", r3, err)
+	}
+	s.Drain()
+	st := s.Stats()
+	if st.Accepted != 2 || st.Complete != 2 || st.Deduped != 1 {
+		t.Fatalf("accepted/completed/deduped = %d/%d/%d, want 2/2/1", st.Accepted, st.Complete, st.Deduped)
+	}
+}
+
+func TestSeqDedupOverHTTP(t *testing.T) {
+	s, err := New(Config{Shards: 2, N: 4, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	reqs := []WireRequest{
+		{Object: "a", Op: "r", Processor: 0, Seq: 1},
+		{Object: "a", Op: "w", Processor: 1, Seq: 2},
+	}
+	first, err := c.Batch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range first.Results {
+		if r.Duplicate {
+			t.Fatalf("fresh request marked duplicate: %+v", r)
+		}
+	}
+	second, err := c.Batch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Done != 2 {
+		t.Fatalf("resent batch done = %d, want 2", second.Done)
+	}
+	for _, r := range second.Results {
+		if !r.Duplicate || r.Cost != 0 {
+			t.Fatalf("resent request not deduplicated: %+v", r)
+		}
+	}
+	s.Drain()
+	st := s.Stats()
+	if st.Accepted != st.Complete || st.Deduped != 2 {
+		t.Fatalf("accepted/completed/deduped = %d/%d/%d, want equal accept/complete and 2 deduped",
+			st.Accepted, st.Complete, st.Deduped)
+	}
+}
+
+// BatchAllCtx gives up at the context deadline, reporting the
+// unserviced tail, when the server never comes back.
+func TestBatchAllCtxDeadline(t *testing.T) {
+	c := &Client{Base: "http://127.0.0.1:1", Seed: 9}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.BatchAllCtx(ctx, tracing.SpanContext{}, []WireRequest{{Object: "a", Op: "r"}})
+	if err == nil {
+		t.Fatal("BatchAllCtx against a dead address returned nil error")
+	}
+	if !strings.Contains(err.Error(), "unserviced") {
+		t.Fatalf("error %q does not report the unserviced tail", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("BatchAllCtx ran far past its deadline: %s", time.Since(start))
+	}
+}

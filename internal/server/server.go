@@ -105,8 +105,25 @@ type Config struct {
 	// means 64.
 	MaxHAObjects int
 	// Journal, when non-empty, is a directory receiving one JSONL
-	// journal per shard; journals are flushed and fsynced on drain.
+	// journal per shard. Records are group-committed (one write + fsync
+	// per service round) and replies are only sent after the commit, so
+	// an acked request is always durable; checkpoint records every
+	// CheckpointEvery entries keep replay O(tail). See recovery.go for
+	// the record format.
 	Journal string
+	// Recover, when set, rebuilds each shard's state from its journal
+	// at startup instead of starting empty: the latest checkpoint is
+	// restored and the tail records are re-applied deterministically.
+	// Requires Journal; directory engines only (the executed HA
+	// clusters cannot be snapshotted).
+	Recover bool
+	// CheckpointEvery is the number of journal records between
+	// checkpoints; fewer than 1 means 1024.
+	CheckpointEvery int
+	// PanicAfter, when positive, makes each shard panic once after
+	// servicing that many requests — deterministic chaos for exercising
+	// the supervisor's recovery path.
+	PanicAfter int64
 	// Obs receives the deterministic accounting at drain time: sorted
 	// per-object events plus total counters and cost histograms. Nil
 	// disables it.
@@ -165,6 +182,17 @@ func (cfg *Config) Normalize() error {
 	if cfg.MaxHAObjects < 1 {
 		cfg.MaxHAObjects = 64
 	}
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1024
+	}
+	if cfg.Recover {
+		if cfg.Journal == "" {
+			return fmt.Errorf("server: Recover requires a Journal directory")
+		}
+		if cfg.Engine == EngineHA {
+			return fmt.Errorf("server: ha engine state is not restorable (Recover requires a directory engine)")
+		}
+	}
 	if cfg.Engine == EngineHA && cfg.Factory != nil {
 		return fmt.Errorf("server: Factory override is a directory-engine option; the ha engine executes real clusters")
 	}
@@ -219,6 +247,11 @@ type Result struct {
 	// budget is exhausted. An errored request still consumed its slot in
 	// the object's schedule.
 	Err error
+	// Duplicate reports the request carried a client sequence number at
+	// or below the object's already-serviced horizon (a retry of a
+	// request whose ack was lost): it was answered idempotently at zero
+	// cost without touching the engine.
+	Duplicate bool
 }
 
 // Server is the running service.
@@ -259,6 +292,18 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: journal dir: %w", err)
 		}
 	}
+	if cfg.Recover {
+		// Objects are partitioned by hash over Shards; replaying under a
+		// different shard count would scatter each journal's objects
+		// across the wrong shards.
+		matches, err := filepath.Glob(filepath.Join(cfg.Journal, "shard-*.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("server: journal dir: %w", err)
+		}
+		if len(matches) > 0 && len(matches) != cfg.Shards {
+			return nil, fmt.Errorf("server: journal dir has %d shard journals but Shards = %d; recovery requires the original shard count", len(matches), cfg.Shards)
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		plan := s.cfg.Faults
 		if s.cfg.ShardFaults != nil {
@@ -274,7 +319,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
-		go sh.loop()
+		go sh.supervise()
 	}
 	return s, nil
 }
@@ -300,6 +345,7 @@ func newShard(s *Server, id int, plan *netsim.FaultPlan) (*shard, error) {
 		heldObj: make(map[string]bool),
 		blocked: make(map[string][]*task),
 		streams: make(map[string]*uint64),
+		next:    make(map[string]uint64),
 
 		depthHist: s.ops.Histogram(fmt.Sprintf("shard%d.queue_depth", id), 0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
 		batchHist: s.ops.Histogram(fmt.Sprintf("shard%d.batch_size", id), 1, 2, 4, 8, 16, 32, 64, 128),
@@ -312,9 +358,30 @@ func newShard(s *Server, id int, plan *netsim.FaultPlan) (*shard, error) {
 		sh.seq = make(map[string]uint64)
 	}
 	if cfg.Journal != "" {
-		sh.journal, err = openJournal(filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", id)))
+		path := filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", id))
+		if cfg.Recover {
+			// Rebuild the shard from its journal: restore the latest
+			// checkpoint, re-apply the tail, truncate any torn final
+			// line, then resume appending. Everything in the valid
+			// prefix was acked (or about to be — the client retries
+			// unacked requests and is answered idempotently), so the
+			// admission counter restarts equal to completed.
+			st, validLen, replayErr := replayJournal(path, cfg, plan)
+			if replayErr != nil {
+				be.close()
+				return nil, replayErr
+			}
+			if truncErr := os.Truncate(path, validLen); truncErr != nil && !os.IsNotExist(truncErr) {
+				be.close()
+				return nil, fmt.Errorf("server: journal %s: %w", path, truncErr)
+			}
+			sh.installReplayed(st)
+			sh.accepted.Store(st.completed)
+			sh.deduped.Store(st.deduped)
+		}
+		sh.journal, err = openJournal(path, cfg.Recover, cfg.CheckpointEvery)
 		if err != nil {
-			be.close()
+			sh.be.close()
 			return nil, err
 		}
 	}
@@ -349,6 +416,15 @@ func (s *Server) Do(object string, q model.Request) (Result, error) {
 // deterministically from (Config.Seed, object, per-object sequence).
 // Without a configured Config.Trace the parent is ignored.
 func (s *Server) DoTraced(object string, q model.Request, parent tracing.SpanContext) (Result, error) {
+	return s.do(object, q, parent, 0)
+}
+
+// do is DoTraced with an optional client sequence number (seq > 0): a
+// request whose seq is below the object's serviced horizon is a retry
+// of an already-serviced request and is answered idempotently
+// (Result.Duplicate) — the crash-safe contract behind the HTTP wire's
+// "seq" field.
+func (s *Server) do(object string, q model.Request, parent tracing.SpanContext, seq uint64) (Result, error) {
 	if object == "" {
 		return Result{}, fmt.Errorf("server: empty object name")
 	}
@@ -360,7 +436,7 @@ func (s *Server) DoTraced(object string, q model.Request, parent tracing.SpanCon
 		t0 = time.Now()
 	}
 	sh := s.shardOf(object)
-	t := &task{object: object, req: q, done: make(chan Result, 1)}
+	t := &task{object: object, req: q, seq: seq, done: make(chan Result, 1)}
 	tc := s.cfg.Trace
 	if tc.Enabled() {
 		t.tr = &reqTrace{parent: parent, start: tc.Now()}
@@ -609,6 +685,7 @@ type Stats struct {
 	Retrans  uint64       `json:"retransmissions"`
 	Unreach  uint64       `json:"unreachable"`
 	Dups     uint64       `json:"duplicates"`
+	Deduped  uint64       `json:"deduped,omitempty"`
 	Objects  int          `json:"objects,omitempty"`
 	Counts   cost.Counts  `json:"counts,omitzero"`
 	Cost     float64      `json:"cost,omitempty"`
@@ -624,6 +701,10 @@ type ShardStats struct {
 	QueueLen int    `json:"queue_len"`
 	QueueCap int    `json:"queue_cap"`
 	Rounds   uint64 `json:"rounds"`
+	// State is the supervision state; omitted while healthy.
+	State string `json:"state,omitempty"`
+	// Restarts counts supervisor recoveries of this shard's loop.
+	Restarts uint64 `json:"restarts,omitempty"`
 }
 
 // Stats returns the operational snapshot. Safe to call at any time.
@@ -643,6 +724,10 @@ func (s *Server) Stats() Stats {
 			QueueLen: len(sh.mail),
 			QueueCap: cap(sh.mail),
 			Rounds:   sh.rounds.Load(),
+			Restarts: sh.restarts.Load(),
+		}
+		if state := sh.state.Load(); state != shardHealthy {
+			ss.State = shardStateName(state)
 		}
 		st.Accepted += ss.Accepted
 		st.Complete += ss.Complete
@@ -653,6 +738,7 @@ func (s *Server) Stats() Stats {
 		st.Retrans += sh.retrans.Load()
 		st.Unreach += sh.unreach.Load()
 		st.Dups += sh.dups.Load()
+		st.Deduped += sh.deduped.Load()
 		st.PerShard = append(st.PerShard, ss)
 	}
 	if st.Final {

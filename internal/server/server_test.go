@@ -405,6 +405,48 @@ func TestJournalWrittenAndSynced(t *testing.T) {
 	if lines != 30 {
 		t.Fatalf("journaled %d requests, want 30", lines)
 	}
+
+	// With a small checkpoint cadence the journal interleaves checkpoint
+	// records (first key "t") with request records (first key "object");
+	// the request count is unchanged and every checkpoint parses with
+	// the fields replay needs.
+	dir2 := t.TempDir()
+	s2, err := New(Config{Shards: 2, N: 4, T: 2, Journal: dir2, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, s2, 6, 5, 2)
+	s2.Drain()
+	var recs, ckpts int
+	for i := 0; i < 2; i++ {
+		b, err := os.ReadFile(filepath.Join(dir2, fmt.Sprintf("shard-%d.jsonl", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, `{"t":`) {
+				var ck struct {
+					T       string          `json:"t"`
+					Objects json.RawMessage `json:"objects"`
+				}
+				if err := json.Unmarshal([]byte(line), &ck); err != nil || ck.T != "ckpt" || len(ck.Objects) == 0 {
+					t.Fatalf("bad checkpoint line %q: %v", line, err)
+				}
+				ckpts++
+				continue
+			}
+			recs++
+		}
+	}
+	if recs != 30 {
+		t.Fatalf("checkpointed journal has %d request records, want 30", recs)
+	}
+	if ckpts == 0 {
+		t.Fatal("no checkpoint records at CheckpointEvery=4 over 30 requests")
+	}
 }
 
 func TestHTTPBatchAndStats(t *testing.T) {

@@ -1,7 +1,8 @@
 package server
 
 import (
-	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -21,9 +22,11 @@ import (
 type task struct {
 	object string
 	req    model.Request
+	seq    uint64 // client sequence for idempotent retry; 0 = none
 	done   chan Result
 	holds  int       // rounds spent held by an injected delay
 	tr     *reqTrace // tracing state; nil when tracing is off
+	acked  bool      // reply sent; set by the shard goroutine only
 }
 
 // reqTrace is the per-task trace state threaded from admission to
@@ -43,8 +46,34 @@ type heldTask struct {
 	release uint64
 }
 
+// pendingAck is a completed task whose reply is staged until the
+// round's journal commit: acked implies durable.
+type pendingAck struct {
+	t *task
+	r Result
+}
+
+// Shard supervision states, surfaced via /v1/healthz.
+const (
+	shardHealthy int32 = iota
+	shardDegraded
+	shardRecovering
+)
+
+func shardStateName(v int32) string {
+	switch v {
+	case shardDegraded:
+		return "degraded"
+	case shardRecovering:
+		return "recovering"
+	default:
+		return "healthy"
+	}
+}
+
 // shard is one partition: a mailbox, an engine and a service loop. All
-// non-atomic state below the marker is confined to the loop goroutine.
+// non-atomic state below the marker is confined to the loop goroutine
+// (the supervisor, which runs the loop, during recovery).
 type shard struct {
 	id     int
 	srv    *Server
@@ -60,8 +89,26 @@ type shard struct {
 	fresh   map[string]model.Set // processors holding a current copy (coalescing); nil = off
 	streams map[string]*uint64   // per-object fault stream states
 	seq     map[string]uint64    // per-object trace sequence numbers; nil when tracing is off
+	next    map[string]uint64    // per-object next expected client seq (wire dedup)
 	extra   cost.Counts          // retransmission billing (control messages)
 	journal *journalWriter
+	pending []pendingAck // acks staged until the round's commit
+
+	// panic-recovery bookkeeping: the task being processed, the round's
+	// batch and the cursor into it, so the supervisor can collect every
+	// in-flight task after a recovered panic. cur is reset after each
+	// normal process() return — never by defer, which would run during
+	// the very unwinding the supervisor needs it for.
+	cur       *task
+	curBatch  []*task
+	curIdx    int
+	lastPanic *task
+	panics    int
+
+	// chaos injection (Config.PanicAfter): latched so one shard panics
+	// at most once per process lifetime.
+	chaosSeen  int64
+	chaosFired bool
 
 	// operational metrics (scheduling-dependent, ops registry).
 	depthHist *obs.Histogram
@@ -78,18 +125,29 @@ type shard struct {
 	retrans   atomic.Uint64
 	unreach   atomic.Uint64
 	dups      atomic.Uint64
+	deduped   atomic.Uint64
 	rounds    atomic.Uint64
 	streak    atomic.Uint32
+	state     atomic.Int32 // shardHealthy/shardDegraded/shardRecovering
+	restarts  atomic.Uint64
 }
 
-// loop is the shard's service loop: gather a batch from the mailbox,
+// run is the shard's service loop: gather a batch from the mailbox,
 // service it in arrival order, advance one virtual round (releasing due
-// delay-holds). After the mailbox closes it keeps advancing rounds until
-// every held task has been released — accepted requests never get lost.
-func (sh *shard) loop() {
-	defer sh.srv.wg.Done()
+// delay-holds), commit the round's journal records and only then send
+// the round's replies — acked implies durable. After the mailbox closes
+// it keeps advancing rounds until every held task has been released —
+// accepted requests never get lost. carry, non-nil after a recovered
+// panic, is the in-flight backlog serviced before any new work. Panics
+// propagate to the supervisor.
+func (sh *shard) run(carry []*task) {
 	open := true
 	batch := make([]*task, 0, sh.srv.cfg.Batch)
+	if len(carry) > 0 {
+		sh.round++
+		sh.rounds.Add(1)
+		sh.serviceRound(carry)
+	}
 	for open || len(sh.held) > 0 {
 		if hook := sh.srv.cfg.testBeforeRound; hook != nil {
 			hook(sh.id)
@@ -124,18 +182,92 @@ func (sh *shard) loop() {
 		if len(batch) > 0 {
 			sh.batchHist.Observe(int64(len(batch)))
 		}
-		for _, t := range batch {
-			sh.process(t, false)
-		}
-		sh.tickHeld()
+		sh.serviceRound(batch)
 		if open && len(sh.held) > 0 && len(batch) == 0 {
 			// Spinning rounds forward to release holds; be polite.
 			gosched()
 		}
 	}
-	if sh.journal != nil {
-		sh.journal.close()
+}
+
+// serviceRound processes one round's batch, releases due holds, commits
+// the journal and flushes the round's staged replies.
+func (sh *shard) serviceRound(batch []*task) {
+	sh.curBatch, sh.curIdx = batch, 0
+	for i, t := range batch {
+		sh.curIdx = i
+		sh.process(t, false)
+		sh.cur = nil
 	}
+	sh.curBatch, sh.curIdx = nil, 0
+	sh.tickHeld()
+	sh.commit()
+}
+
+// commit durably appends the round's journal records (group commit:
+// one write + fsync per round), then sends the staged replies. A commit
+// failure panics: the supervisor rebuilds from the durable prefix and
+// reprocesses the round, so no ack ever precedes durability.
+func (sh *shard) commit() {
+	if sh.journal != nil {
+		if err := sh.journal.commit(sh.checkpoint); err != nil {
+			panic(fmt.Sprintf("shard %d: journal commit: %v", sh.id, err))
+		}
+	}
+	for _, p := range sh.pending {
+		p.t.acked = true
+		p.t.done <- p.r
+	}
+	sh.pending = sh.pending[:0]
+}
+
+// checkpoint builds the shard's checkpoint record, or nil when one
+// cannot be taken right now: a delay-held task has consumed fault-
+// stream draws for a record not yet journaled, so a snapshot would
+// desync replay's redraws. An engine that cannot export (custom
+// non-restorable factory) disables checkpointing for good and the
+// journal degrades to full replay.
+func (sh *shard) checkpoint() *ckptRecord {
+	if len(sh.held) > 0 {
+		return nil
+	}
+	objs, err := sh.be.exportObjects()
+	if err != nil {
+		sh.journal.ckptDisabled = true
+		return nil
+	}
+	rec := &ckptRecord{
+		T:         ckptTag,
+		Objects:   objs,
+		Extra:     sh.extra,
+		Completed: sh.completed.Load(),
+		Reads:     sh.reads.Load(),
+		Writes:    sh.writes.Load(),
+		Coalesced: sh.coalesced.Load(),
+		Retrans:   sh.retrans.Load(),
+		Unreach:   sh.unreach.Load(),
+		Dups:      sh.dups.Load(),
+		Deduped:   sh.deduped.Load(),
+	}
+	if len(sh.next) > 0 {
+		rec.Next = sh.next
+	}
+	if len(sh.streams) > 0 {
+		rec.Streams = make(map[string]uint64, len(sh.streams))
+		for obj, st := range sh.streams {
+			rec.Streams[obj] = *st
+		}
+	}
+	if len(sh.fresh) > 0 {
+		rec.Fresh = make(map[string]uint64, len(sh.fresh))
+		for obj, s := range sh.fresh {
+			rec.Fresh[obj] = uint64(s)
+		}
+	}
+	if len(sh.seq) > 0 {
+		rec.TraceSeq = sh.seq
+	}
+	return rec
 }
 
 // tickHeld releases every held task whose round has come, in hold order.
@@ -154,27 +286,38 @@ func (sh *shard) tickHeld() {
 }
 
 // releaseHeld services a delay-released task, then drains the tasks that
-// queued behind it on the same object — re-blocking the remainder if one
-// of them draws a delay of its own.
+// queued behind it on the same object — stopping (and leaving the
+// remainder in the blocked map) if one of them draws a delay of its own.
+// The blocked queue is popped one task at a time so a panic mid-drain
+// leaves the untouched remainder where the supervisor can find it.
 func (sh *shard) releaseHeld(t *task) {
 	delete(sh.heldObj, t.object)
 	sh.process(t, true)
-	q := sh.blocked[t.object]
-	delete(sh.blocked, t.object)
-	for i, bt := range q {
-		sh.process(bt, false)
-		if sh.heldObj[t.object] {
-			sh.blocked[t.object] = append(sh.blocked[t.object], q[i+1:]...)
+	sh.cur = nil
+	for !sh.heldObj[t.object] {
+		q := sh.blocked[t.object]
+		if len(q) == 0 {
+			delete(sh.blocked, t.object)
 			return
 		}
+		bt := q[0]
+		if len(q) == 1 {
+			delete(sh.blocked, t.object)
+		} else {
+			sh.blocked[t.object] = q[1:]
+		}
+		sh.process(bt, false)
+		sh.cur = nil
 	}
 }
 
-// process services one task: fault draws (delay, loss, duplication) from
-// the object's deterministic stream, then coalescing, then the engine.
-// released marks a task coming back from a delay hold, which skips the
-// (already drawn) delay fault and the blocked-object check.
+// process services one task: duplicate detection, fault draws (delay,
+// loss, duplication) from the object's deterministic stream, then
+// coalescing, then the engine. released marks a task coming back from a
+// delay hold, which skips the (already drawn) delay fault and the
+// blocked-object check.
 func (sh *shard) process(t *task, released bool) {
+	sh.cur = t
 	if t.tr != nil && t.tr.dequeued == 0 {
 		// First shard-loop touch: the queue span ends here. Time spent
 		// blocked behind a delay-held object or held by a delay counts
@@ -185,6 +328,23 @@ func (sh *shard) process(t *task, released bool) {
 		// A delayed task owns this object; preserve per-object order.
 		sh.blocked[t.object] = append(sh.blocked[t.object], t)
 		return
+	}
+	if t.seq != 0 && t.seq < sh.next[t.object] {
+		// A client retry of an already-serviced request (the ack was lost
+		// in a crash or on the wire): answer idempotently — zero cost, no
+		// journal record, no engine touch, and the admission slot is
+		// handed back so accepted still equals completed at drain.
+		sh.deduped.Add(1)
+		sh.accepted.Add(^uint64(0))
+		sh.pending = append(sh.pending, pendingAck{t: t, r: Result{Object: t.object, Duplicate: true}})
+		return
+	}
+	if pa := sh.srv.cfg.PanicAfter; pa > 0 && !sh.chaosFired {
+		sh.chaosSeen++
+		if sh.chaosSeen >= pa {
+			sh.chaosFired = true
+			panic(fmt.Sprintf("shard %d: injected chaos panic after %d requests", sh.id, sh.chaosSeen))
+		}
 	}
 	var retransmits int
 	var retransCost float64
@@ -260,22 +420,35 @@ func (sh *shard) process(t *task, released bool) {
 	sh.finish(t, Result{Object: t.object, Cost: a.cost + retransCost, Retransmits: retransmits, Err: err}, a)
 }
 
-// finish completes a task: journal, metrics, trace, reply.
+// finish completes a task: advance the dedup horizon, journal, metrics,
+// trace, and stage (or, unjournaled, send) the reply.
 func (sh *shard) finish(t *task, r Result, a applied) {
 	sh.svcHist.Observe(int64(1 + t.holds))
+	if t.seq != 0 && t.seq >= sh.next[t.object] {
+		sh.next[t.object] = t.seq + 1
+	}
 	if sh.journal != nil {
-		sh.journal.record(t, r)
+		if err := sh.journal.record(t, r); err != nil {
+			panic(fmt.Sprintf("shard %d: journal record: %v", sh.id, err))
+		}
 	}
 	if t.tr != nil {
 		sh.emitTrace(t, r, a)
 	}
 	sh.completed.Add(1)
-	t.done <- r
+	if sh.journal != nil {
+		// Group commit: the reply goes out after the round's fsync.
+		sh.pending = append(sh.pending, pendingAck{t: t, r: r})
+	} else {
+		t.acked = true
+		t.done <- r
+	}
 }
 
-// milli converts a priced cost into integer milli-units, the span and
-// summary currency (rounded, so sums of per-request values reconcile
-// exactly against the engine total for the paper's cost models).
+// milli converts a priced cost into integer milli-units, the span,
+// journal and summary currency (rounded, so sums of per-request values
+// reconcile exactly against the engine total for the paper's cost
+// models).
 func milli(c float64) int64 { return int64(math.Round(c * 1000)) }
 
 // emitTrace builds and submits the finished task's span tree: the
@@ -369,33 +542,115 @@ func (sh *shard) stream(object string) *uint64 {
 	return st
 }
 
-// journalWriter appends one JSONL record per completed request and
-// fsyncs on close, so an orderly drain leaves a durable trace.
+// journalWriter group-commits one JSONL record per completed request:
+// records accumulate in a memory buffer (never auto-flushed, so an
+// unacked record can't leak to disk) and commit appends them with one
+// write + fsync per service round. Every CheckpointEvery committed
+// records it appends a checkpoint record so replay is O(tail).
 type journalWriter struct {
-	f *os.File
-	w *bufio.Writer
+	f            *os.File
+	buf          bytes.Buffer
+	bufRecs      int   // records in buf, folded into sinceCkpt on commit
+	size         int64 // committed (write+fsync completed) bytes; the
+	// recovery truncation point — anything beyond it was never acked
+	every        int // checkpoint cadence; <1 disables
+	sinceCkpt    int
+	ckptDisabled bool
 }
 
-func openJournal(path string) (*journalWriter, error) {
-	f, err := os.Create(path)
+// openJournal opens a shard journal. appendTail resumes an existing
+// journal after recovery (the replayed prefix is kept); otherwise any
+// previous journal is truncated. Writes use O_APPEND so a recovery
+// truncation of a torn tail and subsequent appends compose correctly.
+func openJournal(path string, appendTail bool, every int) (*journalWriter, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	if !appendTail {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: journal: %w", err)
 	}
-	return &journalWriter{f: f, w: bufio.NewWriter(f)}, nil
+	j := &journalWriter{f: f, every: every}
+	if appendTail {
+		if fi, err := f.Stat(); err == nil {
+			j.size = fi.Size()
+		}
+	}
+	return j, nil
 }
 
-func (j *journalWriter) record(t *task, r Result) {
+func (j *journalWriter) record(t *task, r Result) error {
 	errStr := ""
 	if r.Err != nil {
-		errStr = fmt.Sprintf(",%q:%q", "err", r.Err.Error())
+		errStr = r.Err.Error()
 	}
-	fmt.Fprintf(j.w, "{%q:%q,%q:%q,%q:%d,%q:%d,%q:%t%s}\n",
-		"object", t.object, "op", t.req.Op.String(), "p", int(t.req.Processor),
-		"cost_milli", int64(r.Cost*1000), "coalesced", r.Coalesced, errStr)
+	b, err := json.Marshal(reqRecord{
+		Object:    t.object,
+		Op:        t.req.Op.String(),
+		P:         int(t.req.Processor),
+		Seq:       t.seq,
+		CostMilli: milli(r.Cost),
+		Coalesced: r.Coalesced,
+		Retrans:   r.Retransmits,
+		Err:       errStr,
+	})
+	if err != nil {
+		return err
+	}
+	j.buf.Write(b)
+	j.buf.WriteByte('\n')
+	j.bufRecs++
+	return nil
+}
+
+// discard drops the uncommitted buffer; the supervisor calls it before
+// rebuilding from the durable prefix.
+func (j *journalWriter) discard() {
+	j.buf.Reset()
+	j.bufRecs = 0
+}
+
+// commit appends the buffered records durably, then — when the
+// checkpoint cadence has elapsed and ckpt yields a record — appends a
+// checkpoint. A nil ckpt result (held tasks in flight, or a
+// non-restorable engine) just postpones the checkpoint.
+func (j *journalWriter) commit(ckpt func() *ckptRecord) error {
+	if j.buf.Len() > 0 {
+		if _, err := j.f.Write(j.buf.Bytes()); err != nil {
+			return err
+		}
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		j.size += int64(j.buf.Len())
+		j.sinceCkpt += j.bufRecs
+		j.discard()
+	}
+	if j.every > 0 && !j.ckptDisabled && j.sinceCkpt >= j.every && ckpt != nil {
+		rec := ckpt()
+		if rec == nil {
+			return nil
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := j.f.Write(b); err != nil {
+			return err
+		}
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		j.size += int64(len(b))
+		j.sinceCkpt = 0
+	}
+	return nil
 }
 
 func (j *journalWriter) close() {
-	j.w.Flush()
+	j.commit(nil)
 	j.f.Sync()
 	j.f.Close()
 }

@@ -1,0 +1,236 @@
+// Shard supervision: each shard's service loop runs under a supervisor
+// that recovers panics, rebuilds the shard's state from its durable
+// journal, requeues the in-flight tasks in per-object order and
+// restarts the loop with capped exponential backoff. The shard's state
+// (healthy | degraded | recovering) and restart count are surfaced via
+// /v1/healthz and the server.shard_restarts / server.recovered_panics
+// ops counters.
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"objalloc/internal/tracing"
+)
+
+// maxRecoveryBackoff caps the supervisor's exponential restart backoff.
+const maxRecoveryBackoff = 100 * time.Millisecond
+
+// supervise is the shard goroutine: it runs the service loop, and on a
+// panic collects the in-flight tasks, rebuilds the shard from its
+// journal and restarts the loop with the backlog carried in front of
+// any new work. A task that panics the loop twice in a row is abandoned
+// with an error reply so one poisoned request cannot wedge the shard.
+func (sh *shard) supervise() {
+	defer sh.srv.wg.Done()
+	var carry []*task
+	backoff := time.Millisecond
+	for {
+		if sh.runRecovered(carry) {
+			break
+		}
+		sh.state.Store(shardDegraded)
+		sh.srv.ops.Counter("server.recovered_panics").Add(1)
+		var abandon *task
+		if sh.cur != nil {
+			if sh.cur == sh.lastPanic {
+				sh.panics++
+			} else {
+				sh.lastPanic, sh.panics = sh.cur, 1
+			}
+			if sh.panics >= 2 {
+				abandon = sh.cur
+			}
+		}
+		carry = sh.collectInflight()
+		if abandon != nil {
+			kept := carry[:0]
+			for _, t := range carry {
+				if t != abandon {
+					kept = append(kept, t)
+				}
+			}
+			carry = kept
+			sh.failTask(abandon, fmt.Errorf("server: shard %d: request abandoned after repeated panics", sh.id))
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxRecoveryBackoff {
+			backoff = maxRecoveryBackoff
+		}
+		sh.state.Store(shardRecovering)
+		start := sh.srv.cfg.Trace.Now()
+		if err := sh.recoverState(); err != nil {
+			// The journal cannot be replayed (corrupt, or config drift):
+			// nothing can be reprocessed safely. Fail the carried
+			// requests and keep serving new work, visibly degraded.
+			for _, t := range carry {
+				sh.failTask(t, fmt.Errorf("server: shard %d recovery failed: %w", sh.id, err))
+			}
+			carry = nil
+			sh.state.Store(shardDegraded)
+			continue
+		}
+		sh.restarts.Add(1)
+		sh.srv.ops.Counter("server.shard_restarts").Add(1)
+		sh.state.Store(shardHealthy)
+		backoff = time.Millisecond
+		sh.emitRecoverSpan(start, len(carry))
+	}
+	if sh.journal != nil {
+		sh.journal.close()
+	}
+}
+
+// runRecovered runs the service loop and reports whether it finished
+// normally (drain complete) rather than panicking.
+func (sh *shard) runRecovered(carry []*task) (finished bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			finished = false
+		}
+	}()
+	sh.run(carry)
+	return true
+}
+
+// failTask replies with an error for a task that will never be
+// serviced, handing its admission slot back so accepted still equals
+// completed at drain.
+func (sh *shard) failTask(t *task, err error) {
+	if t.acked {
+		return
+	}
+	t.acked = true
+	sh.accepted.Add(^uint64(0))
+	t.done <- Result{Object: t.object, Err: err}
+}
+
+// collectInflight gathers every unacked task after a recovered panic,
+// in an order that preserves each object's arrival order: staged-but-
+// uncommitted completions first (they arrived earliest), then the
+// panicking task and the queue blocked behind its object, then held
+// tasks and their blocked queues in hold order, then any orphaned
+// blocked queues, then the unprocessed remainder of the round's batch.
+// It also resets the loop-confined queues; recoverState rebuilds the
+// rest of the shard's state from the journal.
+func (sh *shard) collectInflight() []*task {
+	seen := make(map[*task]bool)
+	var out []*task
+	add := func(t *task) {
+		if t == nil || t.acked || seen[t] {
+			return
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	for _, p := range sh.pending {
+		add(p.t)
+	}
+	if sh.cur != nil {
+		add(sh.cur)
+		for _, bt := range sh.blocked[sh.cur.object] {
+			add(bt)
+		}
+	}
+	for _, h := range sh.held {
+		add(h.t)
+		for _, bt := range sh.blocked[h.t.object] {
+			add(bt)
+		}
+	}
+	objs := make([]string, 0, len(sh.blocked))
+	for obj := range sh.blocked {
+		objs = append(objs, obj)
+	}
+	sort.Strings(objs)
+	for _, obj := range objs {
+		for _, bt := range sh.blocked[obj] {
+			add(bt)
+		}
+	}
+	for i := sh.curIdx; i < len(sh.curBatch); i++ {
+		add(sh.curBatch[i])
+	}
+	sh.pending = sh.pending[:0]
+	sh.cur, sh.curBatch, sh.curIdx = nil, nil, 0
+	sh.held = nil
+	sh.heldObj = make(map[string]bool)
+	sh.blocked = make(map[string][]*task)
+	return out
+}
+
+// recoverState rebuilds the shard from the durable journal prefix:
+// uncommitted records (buffered, or written but never fsync-acked) are
+// discarded and truncated away, then the journal is replayed into a
+// fresh engine and installed. Reprocessing the carried tasks then
+// redraws the same fault-stream values the crashed loop drew, so the
+// recovered shard is indistinguishable from one that never panicked.
+// Without a journal there is nothing to rebuild from; the loop restarts
+// over the surviving in-memory state, best-effort.
+func (sh *shard) recoverState() error {
+	if sh.journal == nil {
+		return nil
+	}
+	sh.journal.discard()
+	if err := sh.journal.f.Truncate(sh.journal.size); err != nil {
+		return err
+	}
+	cfg := &sh.srv.cfg
+	path := filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", sh.id))
+	st, _, err := replayJournal(path, cfg, sh.faults)
+	if err != nil {
+		return err
+	}
+	sh.installReplayed(st)
+	return nil
+}
+
+// installReplayed swaps the shard's engine and loop-confined state for
+// the replayed one. The admission counter is untouched: carried
+// in-flight tasks are still admitted and will complete (or be failed)
+// by the restarted loop.
+func (sh *shard) installReplayed(st *replayed) {
+	sh.be.close()
+	sh.be = st.be
+	sh.next = st.next
+	sh.streams = st.streams
+	if sh.fresh != nil {
+		sh.fresh = st.fresh
+	}
+	if sh.seq != nil {
+		sh.seq = st.seq
+	}
+	sh.extra = st.extra
+	sh.completed.Store(st.completed)
+	sh.reads.Store(st.reads)
+	sh.writes.Store(st.writes)
+	sh.coalesced.Store(st.coalesced)
+	sh.retrans.Store(st.retrans)
+	sh.unreach.Store(st.unreach)
+	sh.dups.Store(st.dups)
+}
+
+// emitRecoverSpan records one shard_recover span per successful
+// recovery, flagged so the tail sampler always keeps it. The span's IDs
+// are derived from (seed, shard, restart ordinal), deterministic like
+// every other ID in the trace.
+func (sh *shard) emitRecoverSpan(start int64, carried int) {
+	tc := sh.srv.cfg.Trace
+	if !tc.Enabled() {
+		return
+	}
+	sc := tracing.DeriveRequest(sh.srv.cfg.Seed, fmt.Sprintf("shard-%d", sh.id), sh.restarts.Load())
+	shardID := sh.id
+	if tc.Deterministic() {
+		shardID = -1
+	}
+	now := tc.Now()
+	tc.Submit(true, tracing.Span{
+		Trace: sc.Trace.String(), Span: sc.Span.String(), Name: tracing.NameRecover,
+		Shard: shardID, Outcome: "recovered", QueueLen: carried,
+		StartNS: start, DurNS: now - start,
+	})
+}

@@ -1,0 +1,116 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func streamSpans(trace string) []Span {
+	// Deliberately out of canonical order: service before request,
+	// transitions reversed.
+	return []Span{
+		{Trace: trace, Span: "0000000000000003", Name: NameService, Object: "x", Seq: 1},
+		{Trace: trace, Span: "0000000000000005", Name: NameTransition, Object: "x", Seq: 1, Step: 2},
+		{Trace: trace, Span: "0000000000000004", Name: NameTransition, Object: "x", Seq: 1, Step: 1},
+		{Trace: trace, Span: "0000000000000001", Name: NameRequest, Object: "x", Seq: 1},
+	}
+}
+
+// A streaming tracer flushes each request's spans at Submit, canonically
+// sorted within the request, buffers nothing, and WriteTo emits only the
+// summary line.
+func TestStreamFlushesPerRequest(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{Stream: &buf})
+	tr.Submit(false, streamSpans("aa")...)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("streamed %d lines, want 4: %q", len(lines), buf.String())
+	}
+	var names []string
+	var steps []int
+	for _, line := range lines {
+		var sp Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("bad streamed line %q: %v", line, err)
+		}
+		names = append(names, sp.Name)
+		steps = append(steps, sp.Step)
+	}
+	want := []string{NameRequest, NameService, NameTransition, NameTransition}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("streamed span order %v, want %v", names, want)
+		}
+	}
+	if steps[2] != 1 || steps[3] != 2 {
+		t.Fatalf("transition steps out of order: %v", steps)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("streaming tracer buffered %d spans, want 0", tr.Len())
+	}
+
+	tr.SetSummary(Summary{Requests: 1, Engine: "da"})
+	var out bytes.Buffer
+	n, err := tr.WriteTo(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !strings.Contains(out.String(), `"summary"`) {
+		t.Fatalf("WriteTo on a streaming tracer wrote %d lines (%q), want just the summary", n, out.String())
+	}
+	var sum struct {
+		Summary Summary `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Summary.Seen != 1 || sum.Summary.Sampled != 1 || sum.Summary.DroppedSpans != 0 {
+		t.Fatalf("summary seen/sampled/dropped = %d/%d/%d, want 1/1/0",
+			sum.Summary.Seen, sum.Summary.Sampled, sum.Summary.DroppedSpans)
+	}
+}
+
+// Deterministic mode ignores a configured Stream: streaming is
+// completion-ordered, which would break the byte-identical guarantee.
+func TestStreamIgnoredUnderDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{Deterministic: true, Stream: &buf})
+	tr.Submit(false, streamSpans("bb")...)
+	if buf.Len() != 0 {
+		t.Fatalf("deterministic tracer streamed %q, want nothing", buf.String())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("deterministic tracer buffered %d spans, want 4", tr.Len())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// A failed stream write drops the request's spans and counts them, so
+// the summary still reconciles.
+func TestStreamWriteFailureCountsDropped(t *testing.T) {
+	tr := New(Config{Stream: failWriter{}})
+	tr.Submit(false, streamSpans("cc")...)
+	tr.SetSummary(Summary{})
+	var out bytes.Buffer
+	if _, err := tr.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Summary Summary `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Summary.Seen != 1 || sum.Summary.Sampled != 0 || sum.Summary.DroppedSpans != 4 {
+		t.Fatalf("summary seen/sampled/dropped = %d/%d/%d, want 1/0/4",
+			sum.Summary.Seen, sum.Summary.Sampled, sum.Summary.DroppedSpans)
+	}
+}

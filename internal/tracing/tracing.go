@@ -185,6 +185,10 @@ const (
 	NameQueue      = "queue"      // enqueued → dequeued by the shard loop
 	NameService    = "service"    // dequeued → engine reply
 	NameTransition = "transition" // one billed protocol switch
+	// NameRecover marks a shard supervisor recovery: the span is emitted
+	// once per restart, flagged so the tail sampler always keeps it. It
+	// is not part of any request's tree.
+	NameRecover = "shard_recover"
 )
 
 // rank orders a request's spans causally for the canonical sort.
@@ -290,6 +294,16 @@ type Config struct {
 	// A run that hits the cap loses the byte-identical guarantee (the
 	// cap cuts by completion order).
 	MaxSpans int
+	// Stream, when non-nil, receives each completed request's spans
+	// immediately — JSONL, canonically sorted within the request — so a
+	// crash loses only in-flight requests' spans. Streamed spans are not
+	// buffered (MaxSpans does not apply; a failed write counts the
+	// request's spans in DroppedSpans instead), requests appear in
+	// completion order, and WriteTo emits only the summary line. Stream
+	// is incompatible with Deterministic: completion order is
+	// scheduling-dependent, which is exactly what the byte-identical
+	// guarantee excludes.
+	Stream io.Writer
 }
 
 // Tracer collects finished request span-trees and writes the canonical
@@ -311,13 +325,19 @@ type Tracer struct {
 }
 
 // New creates a Tracer. The zero Config samples everything, bounds the
-// buffer at 2^18 spans, and records wall clocks.
+// buffer at 2^18 spans, and records wall clocks. A Stream set together
+// with Deterministic is ignored (streaming is completion-ordered, which
+// would break the byte-identical guarantee); callers that want to
+// reject the combination should do so before constructing.
 func New(cfg Config) *Tracer {
 	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
 		cfg.SampleRate = 1
 	}
 	if cfg.MaxSpans <= 0 {
 		cfg.MaxSpans = 1 << 18
+	}
+	if cfg.Deterministic {
+		cfg.Stream = nil
 	}
 	return &Tracer{cfg: cfg, start: time.Now()}
 }
@@ -366,18 +386,47 @@ func (t *Tracer) Submit(flagged bool, spans ...Span) {
 	if !t.Sampled(spans[0].Trace, flagged) {
 		return
 	}
-	if len(t.spans)+len(spans) > t.cfg.MaxSpans {
-		t.dropped += int64(len(spans))
-		return
+	if t.cfg.Stream != nil {
+		// Streaming: flush the request's spans now, canonically sorted
+		// within the request, instead of buffering until drain.
+		sortRequestSpans(spans)
+		enc := json.NewEncoder(t.cfg.Stream)
+		for i := range spans {
+			if err := enc.Encode(&spans[i]); err != nil {
+				t.dropped += int64(len(spans))
+				return
+			}
+		}
+	} else {
+		if len(t.spans)+len(spans) > t.cfg.MaxSpans {
+			t.dropped += int64(len(spans))
+			return
+		}
+		t.spans = append(t.spans, spans...)
 	}
 	t.sampled++
-	t.spans = append(t.spans, spans...)
 	for i := range spans {
 		if spans[i].Name == NameRequest && spans[i].DurNS > t.slowNS {
 			t.slowNS = spans[i].DurNS
 			t.slowTrace = spans[i].Trace
 		}
 	}
+}
+
+// sortRequestSpans applies the canonical within-request order — causal
+// rank, then transition step, then span ID — to one request's spans (the
+// per-request projection of WriteTo's global sort).
+func sortRequestSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if ra, rb := rank(a.Name), rank(b.Name); ra != rb {
+			return ra < rb
+		}
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		return a.Span < b.Span
+	})
 }
 
 // SetSummary installs the engine's authoritative totals; the server

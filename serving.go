@@ -64,8 +64,20 @@ type Overloaded = server.Overloaded
 // begun.
 var ErrServerDraining = server.ErrDraining
 
-// NewServer starts the sharded allocation service.
+// NewServer starts the sharded allocation service. With
+// ServerConfig.Journal set, each shard group-commits a request journal
+// (fsynced once per service round, checkpointed every CheckpointEvery
+// records); ServerConfig.Recover replays those journals on startup, so
+// a crashed server restarted over the same directory continues with the
+// exact state and accounting the last committed round left. Shard loops
+// run under a supervisor that recovers panics by rebuilding from the
+// journal (state surfaced per shard via /v1/healthz and Stats).
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ServerReplayDir reconstructs a drained or crashed run's deterministic
+// stats offline by replaying its journal directory under the same
+// config — the reconciliation behind cmd/journalcheck.
+func ServerReplayDir(cfg ServerConfig) (ServerStats, error) { return server.ReplayDir(cfg) }
 
 // ParseServerEngine parses an engine name: "da", "sa", "ha" or
 // "adaptive".
@@ -106,7 +118,8 @@ type (
 type Tracer = tracing.Tracer
 
 // TraceConfig configures a Tracer (deterministic mode, tail-sampling
-// rate, span-buffer bound).
+// rate, span-buffer bound, and optional incremental span streaming via
+// Stream).
 type TraceConfig = tracing.Config
 
 // TraceSpan is one record of a trace file.
