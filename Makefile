@@ -9,12 +9,15 @@
 # deterministic traces across shard counts), crash-smoke SIGKILLs the
 # daemon mid-load and asserts the journal-recovered accounting is
 # byte-identical to an uninterrupted same-seed run (plus supervised
-# recovery from injected shard panics), and staticcheck runs when the
-# tool is installed (it is skipped gracefully otherwise — the build
-# must not depend on network access).
-.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke trace-smoke crash-smoke staticcheck chaos profile
+# recovery from injected shard panics, transient disk-fault runs that
+# must stay byte-identical, and a dead-disk run that must fail-stop),
+# syncvet flags journal Sync/Close calls whose error is silently
+# dropped (go vet does not: an expression statement is legal Go), and
+# staticcheck runs when the tool is installed (it is skipped gracefully
+# otherwise — the build must not depend on network access).
+.PHONY: verify build vet test race bench obscheck fuzzsmoke serve-smoke trace-smoke crash-smoke syncvet staticcheck chaos profile
 
-verify: build vet test race obscheck fuzzsmoke serve-smoke trace-smoke crash-smoke staticcheck
+verify: build vet test race obscheck fuzzsmoke serve-smoke trace-smoke crash-smoke syncvet staticcheck
 
 build:
 	go build ./...
@@ -42,7 +45,9 @@ obscheck:
 fuzzsmoke:
 	go test -run none -fuzz FuzzConfigNormalize -fuzztime 10s ./internal/quorum
 	go test -run none -fuzz FuzzParseFaults -fuzztime 10s ./internal/chaos
+	go test -run none -fuzz FuzzParseDiskFaults -fuzztime 10s ./internal/chaos
 	go test -run none -fuzz FuzzParseAdaptiveSpec -fuzztime 10s ./internal/adaptive
+	go test -run none -fuzz FuzzReplayJournal -fuzztime 10s ./internal/server
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
@@ -52,6 +57,23 @@ trace-smoke:
 
 crash-smoke:
 	sh scripts/crash_smoke.sh
+
+# A bare `x.Sync()` / `x.Close()` statement in the journal layer drops
+# a durability error on the floor; acked-implies-durable dies exactly
+# there, and go vet accepts it (an expression statement is legal Go).
+# Handle the error or mark an audited discard with `_ =`. Test files
+# are exempt (no durability guarantees), as is the HA cluster's void
+# Close (`.cl.Close()` returns nothing — there is no error to drop).
+syncvet:
+	@files=$$(ls internal/server/*.go | grep -v '_test\.go$$'); \
+	bad=$$(grep -n -E '^[[:space:]]*[a-zA-Z_][a-zA-Z0-9_.]*\.(Sync|Close)\(\)[[:space:]]*$$' $$files | grep -v '\.cl\.Close()' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "syncvet: unchecked Sync/Close in internal/server (handle the error or mark the discard with _ =):"; \
+		echo "$$bad"; \
+		exit 1; \
+	else \
+		echo "syncvet: internal/server Sync/Close errors all handled"; \
+	fi
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \

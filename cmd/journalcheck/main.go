@@ -21,7 +21,13 @@
 //	             [-shards 8] [-engine da] [-adaptive spec]
 //	             [-n 8] [-t 3] [-cc 0.25] [-cd 1] [-mobile]
 //	             [-coalesce auto] [-faults spec] [-noretry]
-//	             [-attempts 0] [-seed 0]
+//	             [-attempts 0] [-seed 0] [-disk-faults spec]
+//
+// -disk-faults is accepted (and validated) for flag parity with
+// objallocd, so a harness can hand both tools the same flag set. It
+// does not change the replay: disk faults only perturb journal writes
+// at run time, and the committed bytes a transient-fault run leaves
+// behind replay exactly like a fault-free run's.
 package main
 
 import (
@@ -64,6 +70,7 @@ func run(args []string) error {
 		noretry      = fs.Bool("noretry", false, "retransmission discipline was disabled")
 		attempts     = fs.Int("attempts", 0, "retransmission cap per message (0 = default)")
 		seed         = fs.Int64("seed", 0, "fault-stream seed perturbation of the original run")
+		diskFaults   = fs.String("disk-faults", "", "disk-fault plan of the original run (validated for flag parity; replay does not inject)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +112,9 @@ func run(args []string) error {
 	var planPtr *netsim.FaultPlan
 	if plan.Active() {
 		planPtr = &plan
+	}
+	if _, err := chaos.ParseDiskFaults(*diskFaults); err != nil {
+		return err
 	}
 
 	st, err := server.ReplayDir(server.Config{

@@ -12,6 +12,7 @@
 //	          [-coalesce auto] [-faults loss=0.1,delay=0.2] [-noretry]
 //	          [-attempts 0] [-seed 0] [-journal dir] [-recover]
 //	          [-checkpoint 1024] [-chaos-panic 0]
+//	          [-disk-faults writeerr=0.01,syncerr=0.01]
 //	          [-addr 127.0.0.1:0] [-addrfile path] [-statsfile path]
 //	          [-draintimeout 30s] [-metrics out.jsonl] [-pprof addr]
 //	          [-trace out.jsonl] [-trace-deterministic] [-trace-sample 1]
@@ -34,7 +35,14 @@
 // continues exactly where the last fsync left it. Shard loops run under
 // a supervisor that recovers panics, rebuilds the shard from its
 // journal and restarts it with capped backoff (-chaos-panic injects one
-// such panic per shard for testing).
+// such panic per shard for testing). -disk-faults injects seeded,
+// deterministic disk faults under the journal (write errors, torn
+// writes, fsync failures, ENOSPC streaks, stalls — see
+// internal/diskfault); transient faults are recovered by journal
+// rebuild, while a persistently failing disk fail-stops its shard,
+// which then refuses requests with 503 + Retry-After and reports
+// "failed" in /v1/healthz. The daemon exits nonzero after drain if any
+// shard suffered a durability loss.
 // On SIGTERM or SIGINT the daemon drains gracefully: accepted requests
 // complete, new ones are refused, journals are flushed and fsynced, the
 // final stats are printed to stdout, and the process exits nonzero if
@@ -57,6 +65,7 @@ import (
 	"objalloc/internal/adaptive"
 	"objalloc/internal/chaos"
 	"objalloc/internal/cost"
+	"objalloc/internal/diskfault"
 	"objalloc/internal/netsim"
 	"objalloc/internal/obs"
 	"objalloc/internal/server"
@@ -96,6 +105,7 @@ func run(args []string, ready chan<- string) error {
 		recoverJ     = fs.Bool("recover", false, "replay the per-shard journals on startup (requires -journal)")
 		checkpoint   = fs.Int("checkpoint", 0, "journal checkpoint cadence in records, so replay is O(tail) (0 = default 1024)")
 		chaosPanic   = fs.Int64("chaos-panic", 0, "panic each shard loop after this many serviced requests, exercising the supervisor (0 disables)")
+		diskFaults   = fs.String("disk-faults", "", "deterministic disk-fault plan for the journal (key=value, comma-separated; requires -journal; empty disables)")
 		addr         = fs.String("addr", "127.0.0.1:0", "HTTP listen address")
 		addrfile     = fs.String("addrfile", "", "write the bound address to this file once listening")
 		statsfile    = fs.String("statsfile", "", "write the final stats JSON to this file on drain")
@@ -144,6 +154,14 @@ func run(args []string, ready chan<- string) error {
 	if plan.Active() {
 		planPtr = &plan
 	}
+	dplan, err := chaos.ParseDiskFaults(*diskFaults)
+	if err != nil {
+		return err
+	}
+	var dplanPtr *diskfault.Plan
+	if dplan.Active() {
+		dplanPtr = &dplan
+	}
 
 	cli, err := obs.StartCLI(obs.CLIOptions{Metrics: *metrics, PprofAddr: *pprofAddr, Label: "objallocd"})
 	if err != nil {
@@ -180,7 +198,7 @@ func run(args []string, ready chan<- string) error {
 		Retry:    netsim.RetryPolicy{Disabled: *noretry, MaxAttempts: *attempts},
 		Journal:  *journal, MaxHAObjects: *maxHAObjects,
 		Recover: *recoverJ, CheckpointEvery: *checkpoint,
-		PanicAfter: *chaosPanic,
+		PanicAfter: *chaosPanic, DiskFaults: dplanPtr,
 		Obs:        cli.Obs(),
 		Trace:      tracer,
 	})
@@ -269,6 +287,9 @@ func run(args []string, ready chan<- string) error {
 	}
 	if st.Accepted != st.Complete {
 		return fmt.Errorf("drain lost requests: accepted %d, completed %d", st.Accepted, st.Complete)
+	}
+	if err := srv.DrainErr(); err != nil {
+		return fmt.Errorf("durability loss: %w", err)
 	}
 	log.Printf("drained cleanly: %d accepted, %d completed, %d objects", st.Accepted, st.Complete, st.Objects)
 	return nil

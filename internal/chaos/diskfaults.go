@@ -1,0 +1,23 @@
+package chaos
+
+import "objalloc/internal/diskfault"
+
+// ParseDiskFaults decodes the -disk-faults flag syntax: comma-separated
+// key=value pairs, e.g.
+//
+//	writeerr=0.01,shortwrite=0.005,syncerr=0.01,enospc=0.002,enospclen=3,seed=7
+//
+// It is a thin veneer over diskfault.ParsePlan so command-line tools
+// depend on one flag-parsing package for every chaos dimension (network
+// faults, panic injection, disk faults). See diskfault.Plan for the key
+// reference, including the deterministic single-shot forms (writeerrat,
+// shortat, syncerrat, enospcat) and persistafter. The empty string is a
+// valid no-fault plan.
+func ParseDiskFaults(s string) (diskfault.Plan, error) {
+	return diskfault.ParsePlan(s)
+}
+
+// FormatDiskFaults renders a plan back into ParseDiskFaults syntax.
+func FormatDiskFaults(p diskfault.Plan) string {
+	return diskfault.FormatPlan(p)
+}

@@ -1,0 +1,294 @@
+package diskfault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, in *Injector) (*File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	f, err := in.Open(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, path
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	return fi.Size()
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"writeerr=0.1",
+		"enospc=0.05,enospclen=3,seed=9",
+		"shortwrite=0.01,stall=0.2,stallmax=2ms,syncerr=0.005",
+		"persistafter=100,syncerrat=7",
+		"enospcat=3,shortat=2,writeerrat=1",
+	}
+	for _, s := range specs {
+		plan, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		back, err := ParsePlan(FormatPlan(plan))
+		if err != nil {
+			t.Fatalf("ParsePlan(FormatPlan(%q)): %v", s, err)
+		}
+		if back != plan {
+			t.Fatalf("round trip of %q: %+v != %+v", s, back, plan)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, s := range []string{
+		"writeerr=1.5", "syncerr=-0.1", "bogus=1", "writeerr", "stallmax=abc",
+		"enospclen=-1", "persistafter=-2", "writeerr=NaN",
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestZeroPlanInert(t *testing.T) {
+	var p Plan
+	if p.Active() {
+		t.Fatal("zero plan active")
+	}
+	if p.Injector(0) != nil {
+		t.Fatal("zero plan yields an injector")
+	}
+	var nilPlan *Plan
+	if nilPlan.Injector(3) != nil {
+		t.Fatal("nil plan yields an injector")
+	}
+}
+
+// TestDeterministicStream checks the fault sequence is a pure function
+// of (seed, shard, op index): two injectors from the same plan draw
+// identical sequences, a different shard draws a different one.
+func TestDeterministicStream(t *testing.T) {
+	plan := Plan{Seed: 42, WriteErr: 0.2, ShortWrite: 0.1, SyncErr: 0.1, ENOSPC: 0.1, ENOSPCLen: 2}
+	draw := func(shard, n int) []faultKind {
+		in := plan.Injector(shard)
+		out := make([]faultKind, n)
+		for i := range out {
+			out[i], _, _ = in.next()
+		}
+		return out
+	}
+	a, b := draw(1, 200), draw(1, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same shard diverges: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+	c := draw(2, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("shards 1 and 2 drew identical fault sequences")
+	}
+}
+
+func TestWriteErrAtInjectsNothing(t *testing.T) {
+	plan := Plan{WriteErrAt: 2}
+	f, path := openTemp(t, plan.Injector(0))
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, ErrWrite) || n != 0 {
+		t.Fatalf("op 2: n=%d err=%v, want 0, ErrWrite", n, err)
+	}
+	if got := fileSize(t, path); got != 4 {
+		t.Fatalf("file size %d after clean write error, want 4", got)
+	}
+	if _, err := f.Write([]byte("cccc")); err != nil {
+		t.Fatalf("op 3 after transient error: %v", err)
+	}
+}
+
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	plan := Plan{ShortAt: 1}
+	f, path := openTemp(t, plan.Injector(0))
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("want ErrTorn, got n=%d err=%v", n, err)
+	}
+	if n < 0 || n >= 10 {
+		t.Fatalf("torn write wrote %d bytes, want a strict prefix of 10", n)
+	}
+	if got := fileSize(t, path); got != int64(n) {
+		t.Fatalf("file size %d, torn write reported %d", got, n)
+	}
+}
+
+func TestENOSPCStreakClears(t *testing.T) {
+	plan := Plan{ENOSPCAt: 1, ENOSPCLen: 3}
+	f, _ := openTemp(t, plan.Injector(0))
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("op %d: want ENOSPC, got %v", i+1, err)
+		}
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("after streak: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after streak: %v", err)
+	}
+}
+
+// TestFsyncgateSemantics is the core contract: a failed fsync drops
+// the dirty bytes, poisons the handle (no write, no retried fsync),
+// and a reopen sees exactly the durable prefix.
+func TestFsyncgateSemantics(t *testing.T) {
+	plan := Plan{SyncErrAt: 4}
+	in := plan.Injector(0)
+	f, path := openTemp(t, in)
+
+	// Ops 1-2: write+sync — durable prefix.
+	if _, err := f.Write([]byte("durable\n")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	// Op 3: write dirty bytes; op 4: fsync fails and drops them.
+	if _, err := f.Write([]byte("doomed\n")); err != nil {
+		t.Fatalf("write 2: %v", err)
+	}
+	err := f.Sync()
+	if !errors.Is(err, ErrSync) {
+		t.Fatalf("sync 2: want ErrSync, got %v", err)
+	}
+	if !f.Poisoned() {
+		t.Fatal("handle not poisoned after failed fsync")
+	}
+	if got := fileSize(t, path); got != int64(len("durable\n")) {
+		t.Fatalf("file size %d after failed fsync, want the durable prefix %d", got, len("durable\n"))
+	}
+	// Retried fsync and further writes must fail loudly.
+	if err := f.Sync(); !errors.Is(err, ErrSyncRetried) {
+		t.Fatalf("retried fsync: want ErrSyncRetried, got %v", err)
+	}
+	if _, err := f.Write([]byte("no\n")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("write on poisoned handle: want ErrPoisoned, got %v", err)
+	}
+	// Discard + reopen + rebuild from the durable prefix: the fresh
+	// handle works (the plan's one-shot fault is spent).
+	if err := f.Close(); err != nil {
+		t.Fatalf("close poisoned handle: %v", err)
+	}
+	f2, err := in.Open(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer f2.Close()
+	if _, err := f2.Write([]byte("recovered\n")); err != nil {
+		t.Fatalf("write after reopen: %v", err)
+	}
+	if err := f2.Sync(); err != nil {
+		t.Fatalf("sync after reopen: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "durable\nrecovered\n" {
+		t.Fatalf("file contents %q", data)
+	}
+}
+
+// TestPersistAfterDeadDisk checks a dead disk stays dead across
+// reopens: the op counter lives in the injector, not the handle.
+func TestPersistAfterDeadDisk(t *testing.T) {
+	plan := Plan{PersistAfter: 3}
+	in := plan.Injector(0)
+	f, path := openTemp(t, in)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); err == nil {
+		t.Fatal("op 3 on a dead disk succeeded")
+	}
+	f.Close()
+	f2, err := in.Open(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer f2.Close()
+	if _, err := f2.Write([]byte("c")); err == nil {
+		t.Fatal("write after reopen on a dead disk succeeded")
+	}
+	if err := f2.Sync(); err == nil {
+		t.Fatal("sync after reopen on a dead disk succeeded")
+	}
+}
+
+func TestStallBounded(t *testing.T) {
+	plan := Plan{Stall: 1, StallMax: 2 * time.Millisecond}
+	in := plan.Injector(0)
+	var slept []time.Duration
+	in.sleep = func(d time.Duration) { slept = append(slept, d) }
+	f, _ := openTemp(t, in)
+	for i := 0; i < 50; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if len(slept) != 50 {
+		t.Fatalf("stall=1 slept %d/50 ops", len(slept))
+	}
+	for _, d := range slept {
+		if d <= 0 || d > 2*time.Millisecond {
+			t.Fatalf("stall %v outside (0, 2ms]", d)
+		}
+	}
+}
+
+func TestInertInjectorPassthrough(t *testing.T) {
+	var in *Injector
+	f, path := openTemp(t, in)
+	if _, err := f.Write([]byte("plain\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := fileSize(t, path); got != 6 {
+		t.Fatalf("size %d", got)
+	}
+}
+
+func TestErrorStringsCarryOpIndex(t *testing.T) {
+	plan := Plan{WriteErrAt: 1}
+	f, _ := openTemp(t, plan.Injector(7))
+	_, err := f.Write([]byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "shard 7") || !strings.Contains(err.Error(), "op 1") {
+		t.Fatalf("error %v does not name shard and op", err)
+	}
+}

@@ -30,6 +30,33 @@ func (o *Overloaded) Error() string {
 		o.Shard, o.QueueLen, o.QueueCap, o.RetryAfter)
 }
 
+// Unavailable is the fail-stop rejection: the target shard escalated a
+// persistent durability failure to the terminal failed state and
+// refuses all work until the process is restarted against a repaired
+// disk. Unlike Overloaded this is not transient — RetryAfter is the
+// interval at which a caller probing for a replacement process should
+// re-check, not a promise the shard will come back.
+type Unavailable struct {
+	// Shard is the failed shard.
+	Shard int
+	// RetryAfter is the suggested probe interval.
+	RetryAfter time.Duration
+	// Cause is the durability fault that escalated the shard.
+	Cause error
+}
+
+// Error implements error.
+func (u *Unavailable) Error() string {
+	return fmt.Sprintf("server: shard %d unavailable (persistent durability failure: %v), retry after %s",
+		u.Shard, u.Cause, u.RetryAfter)
+}
+
+// Unwrap exposes the escalating fault to errors.Is/As.
+func (u *Unavailable) Unwrap() error { return u.Cause }
+
+// failedRetryAfter is the probe interval advertised by a failed shard.
+const failedRetryAfter = time.Second
+
 // overloadBase is the first-rejection retry hint; the hint doubles with
 // each consecutive rejection up to overloadCapShift doublings (64ms).
 const (

@@ -58,6 +58,12 @@ type BatchResponse struct {
 	Results      []WireResult `json:"results"`
 	RetryAfterMS int64        `json:"retry_after_ms,omitempty"`
 	Draining     bool         `json:"draining,omitempty"`
+	// Unavailable reports the refusal came from a fail-stopped shard
+	// (persistent durability failure): unlike an overload it will not
+	// clear until the process is restarted, so clients should fail over
+	// rather than retry-loop. RetryAfterMS then carries the probe
+	// interval.
+	Unavailable bool `json:"unavailable,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats: the typed operational
@@ -92,8 +98,9 @@ func parseOp(s string) (model.Request, bool) {
 //	                   with a slow-request exemplar trace ID when tracing
 //	                   is on
 //	GET  /v1/healthz — liveness plus per-shard supervision state
-//	                   (healthy | degraded | recovering, restart
-//	                   counts); 200 while accepting, 503 while draining
+//	                   (healthy | degraded | recovering | failed,
+//	                   restart counts); 200 while accepting, 503 while
+//	                   draining or once every shard has fail-stopped
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -137,6 +144,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				resp.RetryAfterMS = ov.RetryAfter.Milliseconds()
 				break
 			}
+			if un, isUnavailable := err.(*Unavailable); isUnavailable {
+				resp.RetryAfterMS = un.RetryAfter.Milliseconds()
+				resp.Unavailable = true
+				break
+			}
 			if err == ErrDraining {
 				resp.Draining = true
 				break
@@ -157,14 +169,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusOK
 	if resp.Done == 0 && len(body.Requests) > 0 {
-		if resp.Draining {
+		if resp.Draining || resp.Unavailable {
 			status = http.StatusServiceUnavailable
 		} else {
 			status = http.StatusTooManyRequests
 		}
 	}
 	if resp.RetryAfterMS > 0 {
-		w.Header().Set("Retry-After", strconv.FormatInt(resp.RetryAfterMS, 10))
+		// The header is in whole seconds (RFC 9110); the body's
+		// retry_after_ms keeps the precise hint. Round up so a short
+		// hint never becomes "retry immediately".
+		w.Header().Set("Retry-After", strconv.FormatInt((resp.RetryAfterMS+999)/1000, 10))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -205,31 +220,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // HealthShard is one shard's supervision state in the healthz body.
 type HealthShard struct {
 	Shard    int    `json:"shard"`
-	State    string `json:"state"` // healthy | degraded | recovering
+	State    string `json:"state"` // healthy | degraded | recovering | failed
 	Restarts uint64 `json:"restarts,omitempty"`
 }
 
 // HealthResponse is the body of GET /v1/healthz.
 type HealthResponse struct {
-	Status   string        `json:"status"` // ok | degraded | draining
+	Status   string        `json:"status"` // ok | degraded | failed | draining
 	Draining bool          `json:"draining,omitempty"`
 	Shards   []HealthShard `json:"shards"`
 }
 
 // handleHealthz reports liveness plus per-shard supervision state: 503
-// only while draining; a degraded or recovering shard keeps the
-// endpoint 200 (the service still makes progress) but flips the
-// top-level status to "degraded" for probes that inspect the body.
+// while draining or once every shard has fail-stopped; a degraded,
+// recovering or partially failed fleet keeps the endpoint 200 (the
+// service still makes progress) but flips the top-level status to
+// "degraded" or "failed" for probes that inspect the body.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{Status: "ok", Draining: s.Draining()}
+	failed := 0
 	for _, sh := range s.shards {
 		hs := HealthShard{Shard: sh.id, State: shardStateName(sh.state.Load()), Restarts: sh.restarts.Load()}
-		if hs.State != "healthy" {
+		if hs.State == "failed" {
+			failed++
+			resp.Status = "failed"
+		} else if hs.State != "healthy" && resp.Status == "ok" {
 			resp.Status = "degraded"
 		}
 		resp.Shards = append(resp.Shards, hs)
 	}
 	status := http.StatusOK
+	if failed == len(s.shards) && failed > 0 {
+		status = http.StatusServiceUnavailable
+	}
 	if resp.Draining {
 		resp.Status = "draining"
 		status = http.StatusServiceUnavailable
@@ -312,6 +335,11 @@ func (c *Client) BatchAll(reqs []WireRequest, maxRetries int) ([]WireResult, err
 		if len(reqs) == 0 || resp.Draining {
 			break
 		}
+		if resp.Unavailable {
+			// A fail-stopped shard will not recover in-process; retrying
+			// would loop until the budget anyway.
+			return out, fmt.Errorf("server: shard unavailable (persistent durability failure), %d requests unserviced", len(reqs))
+		}
 		if resp.Done == 0 || resp.RetryAfterMS > 0 {
 			if retries++; retries > maxRetries {
 				return out, fmt.Errorf("server: still overloaded after %d retries (%d requests unserviced)", maxRetries, len(reqs))
@@ -370,6 +398,11 @@ func (c *Client) BatchAllCtx(ctx context.Context, sc tracing.SpanContext, reqs [
 		reqs = reqs[resp.Done:]
 		if len(reqs) == 0 || resp.Draining {
 			break
+		}
+		if resp.Unavailable {
+			// Terminal until the process restarts; hand the tail back so
+			// the caller can fail over instead of burning the deadline.
+			return out, fmt.Errorf("server: shard unavailable (persistent durability failure), %d requests unserviced", len(reqs))
 		}
 		if resp.Done == 0 || resp.RetryAfterMS > 0 {
 			d := time.Duration(resp.RetryAfterMS) * time.Millisecond

@@ -255,6 +255,11 @@ func (st *replayed) apply(cfg *Config, plan *netsim.FaultPlan, rec *reqRecord) e
 	if !ok {
 		return fmt.Errorf("bad op %q", rec.Op)
 	}
+	if rec.P < 0 || rec.P >= cfg.N {
+		// Admission validates this bound on the live path; replay must
+		// not trust journal bytes it did not write.
+		return fmt.Errorf("processor %d outside [0,%d)", rec.P, cfg.N)
+	}
 	q.Processor = model.ProcessorID(rec.P)
 	var retransmits int
 	var retransCost float64

@@ -25,8 +25,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"errors"
+
 	"objalloc/internal/adaptive"
 	"objalloc/internal/cost"
+	"objalloc/internal/diskfault"
 	"objalloc/internal/dom"
 	"objalloc/internal/model"
 	"objalloc/internal/multiobject"
@@ -120,6 +123,14 @@ type Config struct {
 	// CheckpointEvery is the number of journal records between
 	// checkpoints; fewer than 1 means 1024.
 	CheckpointEvery int
+	// DiskFaults, when non-nil and active, interposes a seeded
+	// deterministic failpoint layer between each shard's journalWriter
+	// and the disk: write errors, short (torn) writes, fsync failures
+	// with fsyncgate semantics, ENOSPC streaks and bounded stalls, a
+	// pure function of (Seed, shard, op index). Transient faults heal
+	// through supervisor rebuilds; persistent ones fail-stop the shard.
+	// Requires Journal.
+	DiskFaults *diskfault.Plan
 	// PanicAfter, when positive, makes each shard panic once after
 	// servicing that many requests — deterministic chaos for exercising
 	// the supervisor's recovery path.
@@ -181,6 +192,14 @@ func (cfg *Config) Normalize() error {
 	}
 	if cfg.MaxHAObjects < 1 {
 		cfg.MaxHAObjects = 64
+	}
+	if cfg.DiskFaults != nil {
+		if err := cfg.DiskFaults.Validate(); err != nil {
+			return err
+		}
+		if cfg.DiskFaults.Active() && cfg.Journal == "" {
+			return fmt.Errorf("server: DiskFaults requires a Journal directory (there is no other disk path to inject)")
+		}
 	}
 	if cfg.CheckpointEvery < 1 {
 		cfg.CheckpointEvery = 1024
@@ -273,6 +292,27 @@ type Server struct {
 	drained  chan struct{}
 	isFinal  atomic.Bool
 	wg       sync.WaitGroup
+
+	drainMu   sync.Mutex // guards drainErrs (supervisor goroutines write)
+	drainErrs []error
+}
+
+// recordDrainErr collects a durability loss for DrainErr.
+func (s *Server) recordDrainErr(err error) {
+	s.drainMu.Lock()
+	s.drainErrs = append(s.drainErrs, err)
+	s.drainMu.Unlock()
+}
+
+// DrainErr reports every durability loss the shards observed — a failed
+// final commit or close at drain, or a shard fail-stopped by a
+// persistent disk failure — joined, or nil when every journal drained
+// clean. Meaningful after Drain; callers exiting 0 on a clean drain
+// must check it.
+func (s *Server) DrainErr() error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return errors.Join(s.drainErrs...)
 }
 
 // New starts the service: Shards shard goroutines, each with its own
@@ -357,6 +397,7 @@ func newShard(s *Server, id int, plan *netsim.FaultPlan) (*shard, error) {
 	if cfg.Trace.Enabled() {
 		sh.seq = make(map[string]uint64)
 	}
+	sh.inj = cfg.DiskFaults.Injector(id)
 	if cfg.Journal != "" {
 		path := filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", id))
 		if cfg.Recover {
@@ -379,7 +420,7 @@ func newShard(s *Server, id int, plan *netsim.FaultPlan) (*shard, error) {
 			sh.accepted.Store(st.completed)
 			sh.deduped.Store(st.deduped)
 		}
-		sh.journal, err = openJournal(path, cfg.Recover, cfg.CheckpointEvery)
+		sh.journal, err = openJournal(path, cfg.Recover, cfg.CheckpointEvery, sh.inj)
 		if err != nil {
 			sh.be.close()
 			return nil, err
@@ -446,6 +487,11 @@ func (s *Server) do(object string, q model.Request, parent tracing.SpanContext, 
 	if s.draining {
 		s.mu.RUnlock()
 		return Result{}, ErrDraining
+	}
+	if sh.state.Load() == shardFailed {
+		// Fail-stopped: refuse before the request enters any schedule.
+		s.mu.RUnlock()
+		return Result{}, &Unavailable{Shard: sh.id, RetryAfter: failedRetryAfter, Cause: sh.failCause}
 	}
 	sh.accepted.Add(1)
 	if t.tr != nil {

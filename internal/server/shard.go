@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"objalloc/internal/cost"
+	"objalloc/internal/diskfault"
 	"objalloc/internal/model"
 	"objalloc/internal/multiobject"
 	"objalloc/internal/netsim"
@@ -27,6 +28,28 @@ type task struct {
 	holds  int       // rounds spent held by an injected delay
 	tr     *reqTrace // tracing state; nil when tracing is off
 	acked  bool      // reply sent; set by the shard goroutine only
+	// reprocessed marks a task whose completion was already traced
+	// before a panic discarded its uncommitted round: the retry
+	// re-emits its spans tagged "reprocessed" so traceview can
+	// reconcile panic runs exactly.
+	reprocessed bool
+	// refunded marks a task whose admission slot was already handed
+	// back (dedup, refusal, abandonment). A panic can carry such a
+	// task into reprocessing, which must not refund it again or
+	// accepted drifts below completed at drain.
+	refunded bool
+}
+
+// refundAdmission hands a task's admission slot back exactly once, so
+// requests that complete without counting (dedups, refusals) keep
+// accepted equal to completed at drain even when a recovered panic
+// reprocesses them.
+func (sh *shard) refundAdmission(t *task) {
+	if t.refunded {
+		return
+	}
+	t.refunded = true
+	sh.accepted.Add(^uint64(0))
 }
 
 // reqTrace is the per-task trace state threaded from admission to
@@ -53,11 +76,16 @@ type pendingAck struct {
 	r Result
 }
 
-// Shard supervision states, surfaced via /v1/healthz.
+// Shard supervision states, surfaced via /v1/healthz. failed is
+// terminal: the supervisor fail-stopped the shard after a persistent
+// durability failure (see supervisor.go); it refuses all work with
+// typed Unavailable replies until the process is restarted against a
+// repaired disk.
 const (
 	shardHealthy int32 = iota
 	shardDegraded
 	shardRecovering
+	shardFailed
 )
 
 func shardStateName(v int32) string {
@@ -66,6 +94,8 @@ func shardStateName(v int32) string {
 		return "degraded"
 	case shardRecovering:
 		return "recovering"
+	case shardFailed:
+		return "failed"
 	default:
 		return "healthy"
 	}
@@ -80,6 +110,7 @@ type shard struct {
 	mail   chan *task
 	be     backend
 	faults *netsim.FaultPlan
+	inj    *diskfault.Injector // journal failpoints; nil = real disk
 
 	// loop-confined state.
 	round   uint64
@@ -104,6 +135,18 @@ type shard struct {
 	curIdx    int
 	lastPanic *task
 	panics    int
+
+	// journalErr is the durability fault behind the most recent loop
+	// panic, set just before the panic and consumed by the supervisor
+	// (same goroutine, so no synchronization needed). faultSpans is
+	// the ordinal for journal_fault trace IDs. failCause is the fault
+	// that escalated the shard to failed: written by the supervisor
+	// strictly before the shardFailed state.Store, read by admission
+	// goroutines strictly after a state.Load observes shardFailed, so
+	// the atomic orders the plain field.
+	journalErr error
+	faultSpans uint64
+	failCause  error
 
 	// chaos injection (Config.PanicAfter): latched so one shard panics
 	// at most once per process lifetime.
@@ -205,13 +248,18 @@ func (sh *shard) serviceRound(batch []*task) {
 }
 
 // commit durably appends the round's journal records (group commit:
-// one write + fsync per round), then sends the staged replies. A commit
-// failure panics: the supervisor rebuilds from the durable prefix and
-// reprocesses the round, so no ack ever precedes durability.
+// one write + fsync per round), then sends the staged replies, then
+// tries the periodic checkpoint. A record-commit failure panics with
+// the replies still staged: the supervisor rebuilds from the durable
+// prefix and reprocesses the round, so no ack ever precedes durability.
+// The checkpoint commit runs strictly after the acks went out, so a
+// checkpoint fault panics with nothing staged — the round's records are
+// already durable and reprocessing them would double-bill; replay
+// rebuilds the identical state from the records alone.
 func (sh *shard) commit() {
 	if sh.journal != nil {
-		if err := sh.journal.commit(sh.checkpoint); err != nil {
-			panic(fmt.Sprintf("shard %d: journal commit: %v", sh.id, err))
+		if err := sh.journal.commitRecords(); err != nil {
+			sh.journalFault("commit", err)
 		}
 	}
 	for _, p := range sh.pending {
@@ -219,6 +267,11 @@ func (sh *shard) commit() {
 		p.t.done <- p.r
 	}
 	sh.pending = sh.pending[:0]
+	if sh.journal != nil {
+		if err := sh.journal.commitCheckpoint(sh.checkpoint); err != nil {
+			sh.journalFault("checkpoint", err)
+		}
+	}
 }
 
 // checkpoint builds the shard's checkpoint record, or nil when one
@@ -335,7 +388,7 @@ func (sh *shard) process(t *task, released bool) {
 		// journal record, no engine touch, and the admission slot is
 		// handed back so accepted still equals completed at drain.
 		sh.deduped.Add(1)
-		sh.accepted.Add(^uint64(0))
+		sh.refundAdmission(t)
 		sh.pending = append(sh.pending, pendingAck{t: t, r: Result{Object: t.object, Duplicate: true}})
 		return
 	}
@@ -429,7 +482,7 @@ func (sh *shard) finish(t *task, r Result, a applied) {
 	}
 	if sh.journal != nil {
 		if err := sh.journal.record(t, r); err != nil {
-			panic(fmt.Sprintf("shard %d: journal record: %v", sh.id, err))
+			sh.journalFault("record", err)
 		}
 	}
 	if t.tr != nil {
@@ -443,6 +496,17 @@ func (sh *shard) finish(t *task, r Result, a applied) {
 		t.acked = true
 		t.done <- r
 	}
+}
+
+// journalFault records a durability fault — the typed cause for the
+// supervisor, the ops counter, and an always-sampled trace span — then
+// panics so the supervisor rebuilds from the durable prefix. The panic
+// value carries the error so escalation policy can inspect it.
+func (sh *shard) journalFault(op string, err error) {
+	sh.journalErr = err
+	sh.srv.ops.Counter("server.journal_faults").Add(1)
+	sh.emitJournalFaultSpan(op, err)
+	panic(fmt.Sprintf("shard %d: journal %s: %v", sh.id, op, err))
 }
 
 // milli converts a priced cost into integer milli-units, the span,
@@ -487,6 +551,11 @@ func (sh *shard) emitTrace(t *task, r Result, a applied) {
 	case r.Coalesced:
 		outcome = "coalesced"
 	}
+	if t.reprocessed && outcome == "" {
+		// The first attempt's spans already shipped before a panic threw
+		// the round away; tag the replay so traceview reconciles exactly.
+		outcome = "reprocessed"
+	}
 	engine := sh.srv.cfg.Engine.String()
 	spans := make([]tracing.Span, 0, 4+len(a.transitions))
 	spans = append(spans, tracing.Span{
@@ -522,7 +591,7 @@ func (sh *shard) emitTrace(t *task, r Result, a applied) {
 			CostMilli: milli(dtr.Counts.Price(sh.srv.cfg.Model)),
 		})
 	}
-	flagged := r.Err != nil || r.Retransmits > 0 || len(a.transitions) > 0
+	flagged := r.Err != nil || r.Retransmits > 0 || len(a.transitions) > 0 || t.reprocessed
 	tc.Submit(flagged, spans...)
 }
 
@@ -542,13 +611,23 @@ func (sh *shard) stream(object string) *uint64 {
 	return st
 }
 
+// journalFile is the seam between journalWriter and the disk: *os.File
+// in production, *diskfault.File under an injection plan. Nothing else
+// of os.File's surface is used, so the failpoint wrapper stays small.
+type journalFile interface {
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Close() error
+}
+
 // journalWriter group-commits one JSONL record per completed request:
 // records accumulate in a memory buffer (never auto-flushed, so an
 // unacked record can't leak to disk) and commit appends them with one
 // write + fsync per service round. Every CheckpointEvery committed
 // records it appends a checkpoint record so replay is O(tail).
 type journalWriter struct {
-	f            *os.File
+	f            journalFile
+	path         string
 	buf          bytes.Buffer
 	bufRecs      int   // records in buf, folded into sinceCkpt on commit
 	size         int64 // committed (write+fsync completed) bytes; the
@@ -562,18 +641,29 @@ type journalWriter struct {
 // journal after recovery (the replayed prefix is kept); otherwise any
 // previous journal is truncated. Writes use O_APPEND so a recovery
 // truncation of a torn tail and subsequent appends compose correctly.
-func openJournal(path string, appendTail bool, every int) (*journalWriter, error) {
+// inj, when non-nil, interposes the seeded disk-fault injector.
+func openJournal(path string, appendTail bool, every int, inj *diskfault.Injector) (*journalWriter, error) {
 	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
 	if !appendTail {
 		flags |= os.O_TRUNC
 	}
-	f, err := os.OpenFile(path, flags, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("server: journal: %w", err)
+	var f journalFile
+	if inj != nil {
+		df, err := inj.Open(path, flags, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("server: journal: %w", err)
+		}
+		f = df
+	} else {
+		of, err := os.OpenFile(path, flags, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("server: journal: %w", err)
+		}
+		f = of
 	}
-	j := &journalWriter{f: f, every: every}
+	j := &journalWriter{f: f, path: path, every: every}
 	if appendTail {
-		if fi, err := f.Stat(); err == nil {
+		if fi, err := os.Stat(path); err == nil {
 			j.size = fi.Size()
 		}
 	}
@@ -611,48 +701,62 @@ func (j *journalWriter) discard() {
 	j.bufRecs = 0
 }
 
-// commit appends the buffered records durably, then — when the
-// checkpoint cadence has elapsed and ckpt yields a record — appends a
-// checkpoint. A nil ckpt result (held tasks in flight, or a
-// non-restorable engine) just postpones the checkpoint.
-func (j *journalWriter) commit(ckpt func() *ckptRecord) error {
-	if j.buf.Len() > 0 {
-		if _, err := j.f.Write(j.buf.Bytes()); err != nil {
-			return err
-		}
-		if err := j.f.Sync(); err != nil {
-			return err
-		}
-		j.size += int64(j.buf.Len())
-		j.sinceCkpt += j.bufRecs
-		j.discard()
+// commitRecords appends the buffered records durably (one write + one
+// fsync). The committed size advances only after the fsync returns, so
+// j.size is always the recovery truncation point.
+func (j *journalWriter) commitRecords() error {
+	if j.buf.Len() == 0 {
+		return nil
 	}
-	if j.every > 0 && !j.ckptDisabled && j.sinceCkpt >= j.every && ckpt != nil {
-		rec := ckpt()
-		if rec == nil {
-			return nil
-		}
-		b, err := json.Marshal(rec)
-		if err != nil {
-			return err
-		}
-		b = append(b, '\n')
-		if _, err := j.f.Write(b); err != nil {
-			return err
-		}
-		if err := j.f.Sync(); err != nil {
-			return err
-		}
-		j.size += int64(len(b))
-		j.sinceCkpt = 0
+	if _, err := j.f.Write(j.buf.Bytes()); err != nil {
+		return err
 	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += int64(j.buf.Len())
+	j.sinceCkpt += j.bufRecs
+	j.discard()
 	return nil
 }
 
-func (j *journalWriter) close() {
-	j.commit(nil)
-	j.f.Sync()
-	j.f.Close()
+// commitCheckpoint appends a checkpoint record durably when the cadence
+// has elapsed and ckpt yields one. A nil ckpt result (held tasks in
+// flight, or a non-restorable engine) just postpones the checkpoint.
+func (j *journalWriter) commitCheckpoint(ckpt func() *ckptRecord) error {
+	if j.every <= 0 || j.ckptDisabled || j.sinceCkpt < j.every || ckpt == nil {
+		return nil
+	}
+	rec := ckpt()
+	if rec == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.size += int64(len(b))
+	j.sinceCkpt = 0
+	return nil
+}
+
+// close commits anything still buffered (commitRecords syncs whatever
+// it writes, so no separate Sync follows) and closes the file,
+// returning the first error so drain can report a durability loss at
+// shutdown.
+func (j *journalWriter) close() error {
+	err := j.commitRecords()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // fnv64a is the 64-bit FNV-1a hash, used for the object→shard mapping

@@ -1,15 +1,18 @@
 // Shard supervision: each shard's service loop runs under a supervisor
 // that recovers panics, rebuilds the shard's state from its durable
 // journal, requeues the in-flight tasks in per-object order and
-// restarts the loop with capped exponential backoff. The shard's state
-// (healthy | degraded | recovering) and restart count are surfaced via
-// /v1/healthz and the server.shard_restarts / server.recovered_panics
-// ops counters.
+// restarts the loop with capped exponential backoff. A transient
+// durability fault heals through that cycle; a persistent one —
+// consecutive journal faults with no committed-byte progress — fail-
+// stops the shard instead of rebuild-looping forever. The shard's state
+// (healthy | degraded | recovering | failed) and restart count are
+// surfaced via /v1/healthz and the server.shard_restarts /
+// server.recovered_panics / server.shard_failed ops counters.
 package server
 
 import (
 	"fmt"
-	"path/filepath"
+	"os"
 	"sort"
 	"time"
 
@@ -18,6 +21,12 @@ import (
 
 // maxRecoveryBackoff caps the supervisor's exponential restart backoff.
 const maxRecoveryBackoff = 100 * time.Millisecond
+
+// persistentFailureK is the escalation threshold: this many consecutive
+// journal faults without the committed journal growing mark the
+// durability failure persistent and fail-stop the shard. Within the
+// capped backoff that bounds the rebuild churn to well under a second.
+const persistentFailureK = 3
 
 // supervise is the shard goroutine: it runs the service loop, and on a
 // panic collects the in-flight tasks, rebuilds the shard from its
@@ -28,12 +37,44 @@ func (sh *shard) supervise() {
 	defer sh.srv.wg.Done()
 	var carry []*task
 	backoff := time.Millisecond
+	lastSize := int64(-1) // committed journal bytes at the last journal fault
+	durFails := 0         // consecutive journal faults without progress
 	for {
 		if sh.runRecovered(carry) {
 			break
 		}
 		sh.state.Store(shardDegraded)
 		sh.srv.ops.Counter("server.recovered_panics").Add(1)
+		cause := sh.journalErr
+		sh.journalErr = nil
+		if cause != nil && sh.journal != nil {
+			// Transient vs persistent: a fault is only making progress if
+			// the committed prefix grew since the previous fault. K
+			// consecutive no-progress faults ⇒ the disk is not coming
+			// back; fail-stop instead of rebuild-looping.
+			if sh.journal.size > lastSize {
+				durFails = 0
+			} else {
+				durFails++
+			}
+			lastSize = sh.journal.size
+			if durFails >= persistentFailureK {
+				inflight := sh.collectInflight()
+				// Roll the counters back to the durable prefix before
+				// fail-stopping: the last attempt's finish() increments
+				// counted work whose records never committed, and the
+				// refused backlog hands its admission slots back — both
+				// sides must reflect durable truth or accepted and
+				// completed disagree at drain. Replay reads the committed
+				// bytes directly, so it works on a dead disk; if it fails
+				// anyway the stale counters still force a nonzero exit.
+				_ = sh.recoverState()
+				sh.failStop(inflight, cause)
+				return
+			}
+		} else {
+			lastSize, durFails = -1, 0
+		}
 		var abandon *task
 		if sh.cur != nil {
 			if sh.cur == sh.lastPanic {
@@ -80,8 +121,46 @@ func (sh *shard) supervise() {
 		sh.emitRecoverSpan(start, len(carry))
 	}
 	if sh.journal != nil {
-		sh.journal.close()
+		if err := sh.journal.close(); err != nil {
+			// The final commit (or the close itself) lost data: surface it
+			// so Drain can report the durability loss instead of exiting 0.
+			sh.srv.ops.Counter("server.journal_faults").Add(1)
+			sh.srv.recordDrainErr(fmt.Errorf("server: shard %d: journal close: %w", sh.id, err))
+		}
 	}
+}
+
+// failStop is the terminal transition for a persistently failing disk:
+// mark the shard failed, close the dead journal handle without another
+// sync attempt (fsyncgate: it could only lie), refuse the carried
+// backlog with typed Unavailable replies, then keep draining the
+// mailbox the same way until Drain closes it — fail-stop, not wedge.
+func (sh *shard) failStop(carry []*task, cause error) {
+	sh.failCause = cause // before the state store; see the field comment
+	sh.state.Store(shardFailed)
+	sh.srv.ops.Counter("server.shard_failed").Add(1)
+	sh.srv.recordDrainErr(fmt.Errorf("server: shard %d failed: persistent durability failure: %w", sh.id, cause))
+	if sh.journal != nil {
+		_ = sh.journal.f.Close()
+	}
+	for _, t := range carry {
+		sh.failUnavailable(t, cause)
+	}
+	for t := range sh.mail {
+		sh.failUnavailable(t, cause)
+	}
+}
+
+// failUnavailable refuses one task with the typed Unavailable error,
+// handing its admission slot back so accepted still reconciles with
+// completed at drain.
+func (sh *shard) failUnavailable(t *task, cause error) {
+	if t.acked {
+		return
+	}
+	t.acked = true
+	sh.refundAdmission(t)
+	t.done <- Result{Object: t.object, Err: &Unavailable{Shard: sh.id, RetryAfter: failedRetryAfter, Cause: cause}}
 }
 
 // runRecovered runs the service loop and reports whether it finished
@@ -104,7 +183,7 @@ func (sh *shard) failTask(t *task, err error) {
 		return
 	}
 	t.acked = true
-	sh.accepted.Add(^uint64(0))
+	sh.refundAdmission(t)
 	t.done <- Result{Object: t.object, Err: err}
 }
 
@@ -127,6 +206,9 @@ func (sh *shard) collectInflight() []*task {
 		out = append(out, t)
 	}
 	for _, p := range sh.pending {
+		// A staged completion already emitted its spans; the retry will
+		// re-emit them tagged "reprocessed".
+		p.t.reprocessed = true
 		add(p.t)
 	}
 	if sh.cur != nil {
@@ -164,26 +246,38 @@ func (sh *shard) collectInflight() []*task {
 
 // recoverState rebuilds the shard from the durable journal prefix:
 // uncommitted records (buffered, or written but never fsync-acked) are
-// discarded and truncated away, then the journal is replayed into a
-// fresh engine and installed. Reprocessing the carried tasks then
-// redraws the same fault-stream values the crashed loop drew, so the
-// recovered shard is indistinguishable from one that never panicked.
-// Without a journal there is nothing to rebuild from; the loop restarts
-// over the surviving in-memory state, best-effort.
+// discarded, the old file handle is closed and the file truncated by
+// path to the committed size, then the journal is replayed into a fresh
+// engine and installed and a fresh handle opened. Closing before
+// truncating is the fsyncgate rule: after a failed fsync the kernel may
+// have dropped the dirty pages and marked them clean, so the old
+// descriptor's state is a lie — the only safe move is discard + reopen
+// + rebuild from the durable prefix, never a retried fsync.
+// Reprocessing the carried tasks then redraws the same fault-stream
+// values the crashed loop drew, so the recovered shard is
+// indistinguishable from one that never panicked. Without a journal
+// there is nothing to rebuild from; the loop restarts over the
+// surviving in-memory state, best-effort.
 func (sh *shard) recoverState() error {
 	if sh.journal == nil {
 		return nil
 	}
 	sh.journal.discard()
-	if err := sh.journal.f.Truncate(sh.journal.size); err != nil {
+	_ = sh.journal.f.Close() // possibly poisoned; close is always safe
+	if err := os.Truncate(sh.journal.path, sh.journal.size); err != nil {
 		return err
 	}
 	cfg := &sh.srv.cfg
-	path := filepath.Join(cfg.Journal, fmt.Sprintf("shard-%d.jsonl", sh.id))
-	st, _, err := replayJournal(path, cfg, sh.faults)
+	st, _, err := replayJournal(sh.journal.path, cfg, sh.faults)
 	if err != nil {
 		return err
 	}
+	nj, err := openJournal(sh.journal.path, true, sh.journal.every, sh.inj)
+	if err != nil {
+		return err
+	}
+	nj.ckptDisabled = sh.journal.ckptDisabled
+	sh.journal = nj
 	sh.installReplayed(st)
 	return nil
 }
@@ -211,6 +305,30 @@ func (sh *shard) installReplayed(st *replayed) {
 	sh.retrans.Store(st.retrans)
 	sh.unreach.Store(st.unreach)
 	sh.dups.Store(st.dups)
+	sh.deduped.Store(st.deduped)
+}
+
+// emitJournalFaultSpan records one always-sampled journal_fault span
+// per durability fault, emitted on the shard goroutine just before the
+// fault's panic unwinds the loop. The IDs derive from (seed, shard,
+// fault ordinal), deterministic like every other ID in the trace.
+func (sh *shard) emitJournalFaultSpan(op string, err error) {
+	tc := sh.srv.cfg.Trace
+	if !tc.Enabled() {
+		return
+	}
+	n := sh.faultSpans
+	sh.faultSpans++
+	sc := tracing.DeriveRequest(sh.srv.cfg.Seed, fmt.Sprintf("shard-%d-journal", sh.id), n)
+	shardID := sh.id
+	if tc.Deterministic() {
+		shardID = -1
+	}
+	tc.Submit(true, tracing.Span{
+		Trace: sc.Trace.String(), Span: sc.Span.String(), Name: tracing.NameJournalFault,
+		Shard: shardID, Op: op, Outcome: "fault", Err: err.Error(),
+		StartNS: tc.Now(),
+	})
 }
 
 // emitRecoverSpan records one shard_recover span per successful

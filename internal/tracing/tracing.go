@@ -189,6 +189,10 @@ const (
 	// once per restart, flagged so the tail sampler always keeps it. It
 	// is not part of any request's tree.
 	NameRecover = "shard_recover"
+	// NameJournalFault marks one injected-or-real durability fault on a
+	// shard journal (emitted just before the loop panic that hands the
+	// shard to its supervisor). Always sampled, like NameRecover.
+	NameJournalFault = "journal_fault"
 )
 
 // rank orders a request's spans causally for the canonical sort.
@@ -246,8 +250,11 @@ type Span struct {
 	// zeroed in deterministic mode).
 	QueueLen int `json:"queue_len,omitempty"`
 	// Outcome annotates non-OK completions: "overloaded", "unreachable",
-	// "coalesced", or "error".
+	// "coalesced", "error", or "reprocessed" (a replay after a recovered
+	// panic re-emitting spans the first attempt already shipped).
 	Outcome string `json:"outcome,omitempty"`
+	// Err carries the fault detail on journal_fault spans.
+	Err string `json:"err,omitempty"`
 	// From/To/Step describe a transition span's protocol switch.
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
